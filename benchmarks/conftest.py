@@ -1,0 +1,25 @@
+"""Shared helpers for the exhibit benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+simulation, prints the paper-style series, and asserts the paper's *shape*
+claims (orderings, approximate factors, crossover locations).  Absolute
+times are simulated, so pytest-benchmark's wall-clock statistics measure
+harness cost only; the scientific payload is the printed series and the
+assertions.
+"""
+
+import pytest
+
+from repro.bench.series import Series, render
+
+
+def run_exhibit(benchmark, fn, *args, **kwargs) -> Series:
+    """Run one exhibit generator under pytest-benchmark and print it."""
+    series = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(render(series))
+    return series
+
+
+def within(value: float, lo: float, hi: float, what: str) -> None:
+    assert lo <= value <= hi, f"{what} = {value:.3f} outside expected band [{lo}, {hi}]"

@@ -1,0 +1,55 @@
+"""Command-line entry point: regenerate paper exhibits.
+
+    python -m repro list                 # show available exhibits
+    python -m repro fig4                 # regenerate one exhibit
+    python -m repro fig4 --grids 1,256   # custom sweep
+    python -m repro all [--fast]         # everything -> RESULTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures, render
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",
+    )
+    parser.add_argument("exhibit", help="'list', 'all', or one of: "
+                        + ", ".join(figures.ALL_EXHIBITS))
+    parser.add_argument("--grids", help="comma-separated grid sizes (p2p/coll/dl exhibits)")
+    parser.add_argument("--multipliers", help="comma-separated multipliers (Jacobi exhibits)")
+    parser.add_argument("--fast", action="store_true", help="decimate 'all' sweeps")
+    args = parser.parse_args(argv)
+
+    if args.exhibit == "list":
+        for name, fn in figures.ALL_EXHIBITS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    if args.exhibit == "all":
+        from scripts import regenerate_results  # pragma: no cover - thin wrapper
+
+        sys.argv = ["regenerate_results"] + (["--fast"] if args.fast else [])
+        regenerate_results.main()
+        return 0
+
+    fn = figures.ALL_EXHIBITS.get(args.exhibit)
+    if fn is None:
+        parser.error(f"unknown exhibit {args.exhibit!r}; try 'list'")
+    kwargs = {}
+    if args.grids:
+        kwargs["grids"] = tuple(int(g) for g in args.grids.split(","))
+    if args.multipliers:
+        kwargs["multipliers"] = tuple(int(m) for m in args.multipliers.split(","))
+    print(render(fn(**kwargs)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Application kernels of the paper's Section VI-D.
+
+* :mod:`repro.apps.jacobi` — the NVIDIA MPI+CUDA Jacobi solver adapted to
+  MPI Partitioned halo exchange (Figures 8 and 9);
+* :mod:`repro.apps.dl` — the data-parallel deep-learning proxy: a binary
+  cross-entropy kernel whose gradients are combined with a traditional
+  ``MPI_Allreduce``, the partitioned allreduce, or ``ncclAllReduce``
+  (Figures 10 and 11).
+"""
+
+from repro.apps.jacobi import JacobiConfig, JacobiResult, run_jacobi, serial_jacobi
+from repro.apps.dl import DlConfig, DlResult, run_dl
+
+__all__ = [
+    "DlConfig",
+    "DlResult",
+    "JacobiConfig",
+    "JacobiResult",
+    "run_dl",
+    "run_jacobi",
+    "serial_jacobi",
+]

@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each ``fig*``/``table*`` function in :mod:`repro.bench.figures` runs the
+full simulation workload for one exhibit and returns a
+:class:`~repro.bench.series.Series` whose rows mirror what the paper
+plots; :func:`~repro.bench.series.render` prints them.  The
+``benchmarks/`` directory wraps these in pytest-benchmark targets, and
+EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.bench.series import Series, render
+
+__all__ = ["Series", "render"]

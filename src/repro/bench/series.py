@@ -1,0 +1,59 @@
+"""Result containers for benchmark series and their text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.units import fmt_bytes, fmt_time
+
+
+@dataclass
+class Series:
+    """One exhibit's regenerated data: a titled list of uniform rows."""
+
+    exhibit: str               # e.g. "Fig 4"
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        missing = set(self.columns) - row.keys()
+        if missing:
+            raise ValueError(f"{self.exhibit}: row missing columns {sorted(missing)}")
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        return [r[name] for r in self.rows]
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    return str(value)
+
+
+def render(series: Series) -> str:
+    """Paper-style text table for one series."""
+    cols = list(series.columns)
+    widths = {c: len(c) for c in cols}
+    body: List[List[str]] = []
+    for row in series.rows:
+        cells = [_fmt(row[c]) for c in cols]
+        body.append(cells)
+        for c, cell in zip(cols, cells):
+            widths[c] = max(widths[c], len(cell))
+    out = [f"== {series.exhibit}: {series.title} =="]
+    out.append("  ".join(c.ljust(widths[c]) for c in cols))
+    out.append("  ".join("-" * widths[c] for c in cols))
+    for cells in body:
+        out.append("  ".join(cell.ljust(widths[c]) for c, cell in zip(cols, cells)))
+    for note in series.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)

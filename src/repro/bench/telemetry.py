@@ -1,0 +1,76 @@
+"""Link-level telemetry: what actually moved over the simulated fabric.
+
+Every :class:`~repro.hw.links.Link` counts bytes and transfers; this
+module aggregates those counters per link class so tests can assert
+*conservation* properties (e.g. a partitioned send moves exactly the
+payload over NVLink, the Kernel-Copy path moves zero bytes through the
+copy-engine path) and benchmarks can report utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hw.topology import Fabric
+
+
+@dataclass
+class LinkStats:
+    bytes: int = 0
+    transfers: int = 0
+
+
+@dataclass
+class FabricSnapshot:
+    """Aggregate per-class byte/transfer counters at one instant."""
+
+    classes: Dict[str, LinkStats] = field(default_factory=dict)
+
+    def delta(self, later: "FabricSnapshot") -> "FabricSnapshot":
+        out = FabricSnapshot()
+        for name, after in later.classes.items():
+            before = self.classes.get(name, LinkStats())
+            out.classes[name] = LinkStats(
+                bytes=after.bytes - before.bytes,
+                transfers=after.transfers - before.transfers,
+            )
+        return out
+
+    def __getitem__(self, name: str) -> LinkStats:
+        return self.classes.get(name, LinkStats())
+
+
+_CLASSES = ("hbm", "nvlink", "c2c_h2d", "c2c_d2h", "nic_out", "nic_in", "hostmem")
+
+
+def snapshot(fabric: Fabric) -> FabricSnapshot:
+    """Aggregate all link counters by class."""
+    snap = FabricSnapshot({c: LinkStats() for c in _CLASSES})
+
+    def acc(cls: str, links) -> None:
+        st = snap.classes[cls]
+        for link in links:
+            st.bytes += link.bytes_carried
+            st.transfers += link.n_transfers
+
+    acc("hbm", fabric.hbm.values())
+    acc("nvlink", fabric.nvlink.values())
+    acc("c2c_h2d", fabric.c2c_h2d.values())
+    acc("c2c_d2h", fabric.c2c_d2h.values())
+    acc("nic_out", fabric.nic_out.values())
+    acc("nic_in", fabric.nic_in.values())
+    acc("hostmem", list(fabric.hostmem_tx.values()) + list(fabric.hostmem_rx.values()))
+    return snap
+
+
+def report(fabric: Fabric) -> str:
+    """Human-readable per-class utilization summary."""
+    from repro.units import fmt_bytes
+
+    snap = snapshot(fabric)
+    lines = ["link class   bytes        transfers"]
+    for name in _CLASSES:
+        st = snap[name]
+        lines.append(f"{name:<12} {fmt_bytes(st.bytes):<12} {st.transfers}")
+    return "\n".join(lines)

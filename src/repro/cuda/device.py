@@ -1,0 +1,161 @@
+"""The simulated GPU device: allocation, launch, synchronize, memcpy.
+
+Host-side API methods ending in ``_h`` are generator helpers meant to be
+delegated to from a rank's host process via ``yield from``; they charge the
+host-visible API cost there (launch call, sync call, memcpy call), while
+the device-side work runs asynchronously in the device's streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.cuda.devapi import BlockCtx, KernelCtx
+from repro.cuda.kernel import BlockKernel, KernelBase, UniformKernel, Wave
+from repro.cuda.timing import CostModel
+from repro.hw.memory import Buffer, MemSpace
+from repro.hw.topology import Fabric
+from repro.sim.events import AllOf, Event
+from repro.sim.resources import Resource
+
+
+class Device:
+    """One Hopper GPU of a GH200 superchip."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        gpu_id: int,
+        cost: Optional[CostModel] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        fabric.topo._check(gpu_id)
+        self.fabric = fabric
+        self.engine = fabric.engine
+        self.gpu_id = gpu_id
+        self.node = fabric.topo.node_of(gpu_id)
+        self.cost = cost or CostModel()
+        self.name = name or f"gpu{gpu_id}"
+        from repro.cuda.stream import Stream  # local import to avoid cycle
+
+        self.default_stream = Stream(self, name=f"{self.name}.s0")
+        self._stream_count = 1
+
+    # -- allocation --------------------------------------------------------------
+    def alloc(self, n: int, dtype=np.float64, fill: Optional[float] = None, label: str = "") -> Buffer:
+        """cudaMalloc: device global memory."""
+        return Buffer.alloc(n, dtype, MemSpace.DEVICE, self.node, self.gpu_id, fill, label)
+
+    def alloc_pinned(self, n: int, dtype=np.float64, fill: Optional[float] = None, label: str = "") -> Buffer:
+        """cudaMallocHost: page-locked host memory on this superchip."""
+        return Buffer.alloc(n, dtype, MemSpace.PINNED, self.node, None, fill, label)
+
+    def alloc_unified(self, n: int, dtype=np.float64, fill: Optional[float] = None, label: str = "") -> Buffer:
+        """cudaMallocManaged: unified memory homed on this GPU."""
+        return Buffer.alloc(n, dtype, MemSpace.UNIFIED, self.node, self.gpu_id, fill, label)
+
+    def new_stream(self) -> "Any":
+        from repro.cuda.stream import Stream
+
+        self._stream_count += 1
+        return Stream(self, name=f"{self.name}.s{self._stream_count - 1}")
+
+    # -- kernel launch ------------------------------------------------------------
+    def launch(self, kernel: KernelBase, stream=None) -> Event:
+        """Asynchronously enqueue a kernel; returns its completion event.
+
+        This is the zero-host-cost primitive; host code should prefer
+        ``yield from device.launch_h(kernel)`` which also charges the
+        host-side launch API cost.
+        """
+        kernel.validate(self.cost)
+        stream = stream or self.default_stream
+        return stream.enqueue(lambda: self._exec_kernel(kernel), label=kernel.name)
+
+    def launch_h(self, kernel: KernelBase, stream=None) -> Generator:
+        """Host helper: charge launch API cost, then enqueue (returns event)."""
+        yield self.engine.timeout(self.cost.launch_api_cost)
+        return self.launch(kernel, stream)
+
+    def sync_h(self, stream=None) -> Generator:
+        """``cudaStreamSynchronize``: block until drained + fixed API cost."""
+        stream = stream or self.default_stream
+        yield stream.drained()
+        yield self.engine.timeout(self.cost.stream_sync_cost)
+
+    def device_sync_h(self) -> Generator:
+        """``cudaDeviceSynchronize`` over this device's default stream."""
+        yield from self.sync_h(self.default_stream)
+
+    # -- memcpy ------------------------------------------------------------------
+    def memcpy_async(self, dst: Buffer, src: Buffer, stream=None) -> Event:
+        """cudaMemcpyAsync: queue a copy on a stream; returns completion."""
+        stream = stream or self.default_stream
+
+        def op():
+            yield self.fabric.transfer(src, dst, name="memcpy")
+
+        return stream.enqueue(op, label="memcpy")
+
+    def memcpy_h(self, dst: Buffer, src: Buffer, stream=None) -> Generator:
+        """Host helper: synchronous cudaMemcpy (API cost + wait for copy)."""
+        yield self.engine.timeout(self.cost.memcpy_api_cost)
+        done = self.memcpy_async(dst, src, stream)
+        yield done
+
+    # -- kernel execution internals ---------------------------------------------------
+    def _exec_kernel(self, kernel: KernelBase) -> Generator:
+        yield self.engine.timeout(self.cost.launch_latency)
+        if kernel.apply is not None:
+            # Materialize the kernel's numerical result now (see kernel.py
+            # docstring for the visibility argument).
+            kernel.apply()
+        if isinstance(kernel, UniformKernel):
+            yield from self._exec_uniform(kernel)
+        elif isinstance(kernel, BlockKernel):
+            yield from self._exec_blocks(kernel)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown kernel flavour: {type(kernel).__name__}")
+
+    def _exec_uniform(self, kernel: UniformKernel) -> Generator:
+        kctx = KernelCtx(self, kernel)
+        plan = self.cost.wave_plan(kernel.grid, kernel.block, kernel.work)
+        for index, (blocks, dt) in enumerate(plan):
+            start = self.engine.now
+            yield self.engine.timeout(dt)
+            if kernel.wave_hook is not None:
+                kernel.wave_hook(
+                    kctx,
+                    Wave(index=index, blocks=blocks, start_time=start, end_time=self.engine.now),
+                )
+
+    def _exec_blocks(self, kernel: BlockKernel) -> Generator:
+        resident = self.cost.resident_blocks(kernel.block)
+        slots = Resource(self.engine, capacity=min(resident, kernel.grid))
+
+        def run_block(block_id: int):
+            yield slots.acquire()
+            try:
+                blk = BlockCtx(self, kernel, block_id)
+                yield self.engine.process(
+                    kernel.body(blk), name=f"{kernel.name}.b{block_id}"
+                )
+            finally:
+                slots.release()
+
+        blocks = [
+            self.engine.process(run_block(b), name=f"{kernel.name}.blk{b}")
+            for b in range(kernel.grid)
+        ]
+        yield AllOf(self.engine, blocks)
+
+    # -- misc ----------------------------------------------------------------------
+    def exec_time(self, kernel: UniformKernel) -> float:
+        """Closed-form execution time of a uniform kernel on this device."""
+        return self.cost.kernel_exec_time(kernel.grid, kernel.block, kernel.work)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.name} node={self.node}>"

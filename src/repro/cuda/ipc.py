@@ -1,0 +1,55 @@
+"""CUDA IPC: exporting device allocations to peer processes.
+
+Mirrors ``cudaIpcGetMemHandle`` / ``cudaIpcOpenMemHandle``.  The paper's
+Kernel-Copy path relies on UCX's cuda_ipc transport calling
+``cuIpcOpenMemHandle`` so a kernel can store directly into the remote
+buffer (Section IV-A4); :meth:`IpcMemHandle.open` returns exactly that
+device-visible mapped view.
+
+Opening a handle is only legal from a GPU on the same node (NVLink/PCIe
+reachability), which is why the paper's Kernel-Copy mode is intra-node
+only — the same restriction is enforced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import Buffer, MemSpace
+from repro.hw.topology import Topology
+
+
+class IpcError(Exception):
+    """Illegal IPC operation (wrong memory space or unreachable peer)."""
+
+
+@dataclass(frozen=True)
+class IpcMemHandle:
+    """An exportable reference to a device allocation."""
+
+    buffer: Buffer
+
+    def __post_init__(self) -> None:
+        if self.buffer.space is not MemSpace.DEVICE:
+            raise IpcError(
+                f"cudaIpcGetMemHandle requires device memory, got {self.buffer.space}"
+            )
+
+    @property
+    def owner_gpu(self) -> int:
+        assert self.buffer.gpu is not None
+        return self.buffer.gpu
+
+    def open(self, topo: Topology, opener_gpu: int) -> Buffer:
+        """``cudaIpcOpenMemHandle``: map the remote allocation for ``opener_gpu``.
+
+        The returned Buffer shares payload memory with the exporter and
+        keeps the *owner's* location, so fabric routing charges the
+        NVLink hop between opener and owner on every access.
+        """
+        if not topo.same_node(opener_gpu, self.owner_gpu):
+            raise IpcError(
+                f"gpu {opener_gpu} cannot IPC-open memory of gpu {self.owner_gpu}: "
+                "different nodes (no NVLink/PCIe path)"
+            )
+        return self.buffer.view(0, len(self.buffer.data), label=f"ipc:{self.buffer.label}")

@@ -1,0 +1,89 @@
+"""CUDA streams: FIFO queues of device operations.
+
+A stream owns a worker process that dequeues and executes operations in
+order — exactly the paper's Section II-A description ("a FIFO queue of
+operations executed in the order they are placed in the queue").  Host code
+enqueues asynchronously and later blocks in ``Device.sync_h`` (modelling
+``cudaStreamSynchronize``'s fixed 7.8 us cost, Fig 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.resources import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cuda.device import Device
+
+
+class StreamOp:
+    """One queued operation: a generator factory plus its completion event."""
+
+    __slots__ = ("run", "done", "label")
+
+    def __init__(self, run: Callable[[], "object"], done: Event, label: str) -> None:
+        self.run = run
+        self.done = done
+        self.label = label
+
+
+class Stream:
+    """A FIFO execution queue on one device."""
+
+    def __init__(self, device: "Device", name: str = "stream") -> None:
+        self.device = device
+        self.engine = device.engine
+        self.name = name
+        self._ops: Channel[StreamOp] = Channel(self.engine, name=f"{name}.q")
+        self._outstanding = 0  # enqueued but not yet completed
+        self._drain_waiters: list[Event] = []
+        self._worker = self.engine.process(self._run(), name=f"{name}.worker")
+
+    # -- enqueue -----------------------------------------------------------------
+    def enqueue(self, run: Callable[[], "object"], label: str) -> Event:
+        """Queue a generator-factory op; returns its completion event."""
+        done = Event(self.engine)
+        self._outstanding += 1
+        self._ops.put(StreamOp(run, done, label))
+        return done
+
+    # -- draining ----------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no op is executing and the queue is empty."""
+        return self._outstanding == 0
+
+    def drained(self) -> Event:
+        """Event firing when the stream has fully drained (possibly now)."""
+        ev = Event(self.engine)
+        if self.idle:
+            ev.succeed(None)
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    def _notify_drained(self) -> None:
+        if self.idle and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+
+    # -- worker --------------------------------------------------------------------
+    def _run(self):
+        while True:
+            op: StreamOp = yield self._ops.get()
+            try:
+                result = yield self.engine.process(op.run(), name=f"{self.name}.{op.label}")
+            except Exception as exc:  # noqa: BLE001 - fail just this op's waiters
+                self._outstanding -= 1
+                if op.done.callbacks is not None:
+                    op.done.fail(exc)
+                else:  # nobody listening: surface the crash
+                    raise
+                self._notify_drained()
+                continue
+            self._outstanding -= 1
+            op.done.succeed(result)
+            self._notify_drained()

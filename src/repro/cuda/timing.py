@@ -1,0 +1,130 @@
+"""GPU cost model: launch/sync overheads and the SM wave timing model.
+
+Calibration targets (paper Fig 2, Section III):
+
+* ``cudaStreamSynchronize`` costs 7.8 +- 0.1 us regardless of kernel size;
+* for grids <= 256 (one wave at block=1024) synchronization is 71.6-78.9 %
+  of total launch+sync time -> small-kernel execution ~2-3 us;
+* a 128K-grid vector-add kernel runs ~1 ms (sync is ~0.8 % of total) —
+  consistent with being HBM-bandwidth-bound (3 x 8 B/thread traffic).
+
+The wave model: an H100-class device has ``sm_count`` SMs, each holding up
+to ``max_threads_per_sm`` resident threads (and at most ``max_blocks_per_sm``
+blocks).  A grid executes in ``ceil(grid / resident_blocks)`` waves; each
+wave takes ``max(block_floor, wave_bytes / hbm_bw)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.units import us, GBps
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """Per-thread work of a uniform kernel body.
+
+    ``bytes_per_thread`` counts *total HBM traffic* (reads + writes); the
+    paper's vector add ``C = A + B`` with 8 B elements moves 24 B/thread.
+    ``flops_per_thread`` is kept for compute-bound kernels (Jacobi, BCE).
+    """
+
+    flops_per_thread: float = 1.0
+    bytes_per_thread: float = 24.0
+
+    @classmethod
+    def vector_add(cls, elem_bytes: int = 8) -> "WorkSpec":
+        return cls(flops_per_thread=1.0, bytes_per_thread=3.0 * elem_bytes)
+
+    @classmethod
+    def jacobi_stencil(cls, elem_bytes: int = 4) -> "WorkSpec":
+        # 5-point stencil: ~4 reads (cached) + 1 write + ~5 flops.
+        return cls(flops_per_thread=5.0, bytes_per_thread=3.0 * elem_bytes)
+
+    @classmethod
+    def bce(cls, elem_bytes: int = 4) -> "WorkSpec":
+        # log/exp heavy: ~20 flops, 3 streams of traffic.
+        return cls(flops_per_thread=20.0, bytes_per_thread=3.0 * elem_bytes)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All host-visible and SM-level GPU timing constants."""
+
+    # --- host API costs ---
+    launch_latency: float = 0.95 * us      # kernel launch -> first wave starts
+    launch_api_cost: float = 0.4 * us      # host-side cost of the async launch call
+    stream_sync_cost: float = 7.8 * us     # cudaStreamSynchronize fixed cost (Fig 2)
+    memcpy_api_cost: float = 1.2 * us      # cudaMemcpyAsync host-side cost
+    event_record_cost: float = 0.4 * us
+    cuda_malloc_cost: float = 60.0 * us    # cudaMalloc (driver allocation)
+    cuda_host_alloc_cost: float = 25.0 * us  # cudaMallocHost (pin pages)
+
+    # --- SM geometry (H100-class) ---
+    sm_count: int = 132
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    max_block_threads: int = 1024
+
+    # --- block/wave timing ---
+    block_floor: float = 1.15 * us         # min wave latency (issue + drain)
+    hbm_bw: float = 3500 * GBps            # achievable device memory bandwidth
+    flop_rate: float = 20e12               # achievable FP64-ish rate (flops/s)
+    syncthreads_cost: float = 0.02 * us
+
+    def with_overrides(self, **kw) -> "CostModel":
+        return replace(self, **kw)
+
+    # --- geometry ----------------------------------------------------------
+    def resident_blocks(self, block_threads: int) -> int:
+        """Max concurrently-resident blocks on the whole device."""
+        if not 1 <= block_threads <= self.max_block_threads:
+            raise ValueError(
+                f"block size {block_threads} out of range 1..{self.max_block_threads}"
+            )
+        per_sm = min(self.max_threads_per_sm // block_threads, self.max_blocks_per_sm)
+        per_sm = max(per_sm, 1)
+        return per_sm * self.sm_count
+
+    def n_waves(self, grid: int, block_threads: int) -> int:
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        return math.ceil(grid / self.resident_blocks(block_threads))
+
+    # --- timing -------------------------------------------------------------
+    def block_compute_time(self, block_threads: int, work: WorkSpec) -> float:
+        """Time for one isolated block (no wave contention)."""
+        mem = block_threads * work.bytes_per_thread / self.hbm_bw
+        flops = block_threads * work.flops_per_thread / (self.flop_rate / self.sm_count)
+        return max(self.block_floor, mem, flops)
+
+    def wave_time(self, n_blocks: int, block_threads: int, work: WorkSpec) -> float:
+        """Time for one wave of ``n_blocks`` concurrently-resident blocks.
+
+        Memory traffic of the whole wave shares the device HBM bandwidth;
+        compute shares the device flop rate across SMs.
+        """
+        mem = n_blocks * block_threads * work.bytes_per_thread / self.hbm_bw
+        flops = n_blocks * block_threads * work.flops_per_thread / self.flop_rate
+        return max(self.block_floor, mem, flops)
+
+    def wave_plan(
+        self, grid: int, block_threads: int, work: WorkSpec
+    ) -> List[Tuple[range, float]]:
+        """Analytic schedule: list of (block-id range, wave duration)."""
+        resident = self.resident_blocks(block_threads)
+        plan: List[Tuple[range, float]] = []
+        start = 0
+        while start < grid:
+            n = min(resident, grid - start)
+            plan.append((range(start, start + n), self.wave_time(n, block_threads, work)))
+            start += n
+        return plan
+
+    def kernel_exec_time(self, grid: int, block_threads: int, work: WorkSpec) -> float:
+        """Closed-form launch-to-completion time of a uniform kernel."""
+        return self.launch_latency + sum(dt for _r, dt in self.wave_plan(grid, block_threads, work))

@@ -1,0 +1,23 @@
+"""Hardware models: GH200 testbed topology, links, memory spaces, routes.
+
+This package provides the *physical* substrate under the GPU and network
+simulators: where buffers live, which links connect which components, and
+how long a byte-stream takes to traverse a path.  All constants live in
+:mod:`repro.hw.params` and mirror the testbed of the paper's Section V.
+"""
+
+from repro.hw.params import GH200Params, TestbedConfig
+from repro.hw.memory import Buffer, MemSpace
+from repro.hw.links import Link
+from repro.hw.topology import Fabric, GpuId, Topology
+
+__all__ = [
+    "Buffer",
+    "Fabric",
+    "GH200Params",
+    "GpuId",
+    "Link",
+    "MemSpace",
+    "TestbedConfig",
+    "Topology",
+]

@@ -1,0 +1,241 @@
+"""Testbed topology and the Fabric route/transfer facade.
+
+The :class:`Topology` mirrors the paper's testbed (Section V): ``n_nodes``
+nodes, each with ``gpus_per_node`` GH200 superchips.  Within a node every
+GPU pair is NVLink-connected (6 links -> one 150 GB/s channel per direction
+per pair); each superchip couples its Grace CPU and Hopper GPU over
+NVLink-C2C; each superchip owns one ConnectX-7 NIC to the inter-node fabric.
+
+:class:`Fabric` instantiates one :class:`~repro.hw.links.Link` per direction
+per channel and resolves a route for any (source buffer, destination buffer)
+pair, then runs transfers with real payload copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.links import Link, start_transfer
+from repro.hw.memory import Buffer, MemSpace
+from repro.hw.params import TestbedConfig
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.units import us
+
+#: Global GPU index (0 .. n_gpus-1); node-local index is ``gpu % gpus_per_node``.
+GpuId = int
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Pure shape queries over a :class:`TestbedConfig`."""
+
+    config: TestbedConfig
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.config.gpus_per_node
+
+    @property
+    def n_gpus(self) -> int:
+        return self.config.n_gpus
+
+    def node_of(self, gpu: GpuId) -> int:
+        self._check(gpu)
+        return gpu // self.gpus_per_node
+
+    def local_index(self, gpu: GpuId) -> int:
+        self._check(gpu)
+        return gpu % self.gpus_per_node
+
+    def same_node(self, a: GpuId, b: GpuId) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def gpus_on_node(self, node: int) -> List[GpuId]:
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} out of range (n_nodes={self.n_nodes})")
+        base = node * self.gpus_per_node
+        return list(range(base, base + self.gpus_per_node))
+
+    def _check(self, gpu: GpuId) -> None:
+        if not 0 <= gpu < self.n_gpus:
+            raise IndexError(f"gpu {gpu} out of range (n_gpus={self.n_gpus})")
+
+
+class RouteError(Exception):
+    """No path exists between the requested buffer locations."""
+
+
+class Fabric:
+    """All links of the testbed plus route resolution and transfers."""
+
+    def __init__(self, engine: Engine, config: TestbedConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.topo = Topology(config)
+        p = config.params
+
+        # Per-GPU HBM port (local device copies).
+        self.hbm: Dict[GpuId, Link] = {
+            g: Link(engine, f"hbm{g}", p.hbm_bw, 0.05 * us) for g in range(self.topo.n_gpus)
+        }
+        # NVLink: one link per *ordered* intra-node GPU pair.
+        self.nvlink: Dict[Tuple[GpuId, GpuId], Link] = {}
+        for node in range(self.topo.n_nodes):
+            gpus = self.topo.gpus_on_node(node)
+            for a in gpus:
+                for b in gpus:
+                    if a != b:
+                        self.nvlink[(a, b)] = Link(
+                            engine, f"nvl{a}->{b}", p.nvlink_bw, p.nvlink_latency
+                        )
+        # C2C per superchip, per direction.
+        self.c2c_h2d: Dict[GpuId, Link] = {
+            g: Link(engine, f"c2c_h2d{g}", p.c2c_bw, p.c2c_latency)
+            for g in range(self.topo.n_gpus)
+        }
+        self.c2c_d2h: Dict[GpuId, Link] = {
+            g: Link(engine, f"c2c_d2h{g}", p.c2c_bw, p.c2c_latency)
+            for g in range(self.topo.n_gpus)
+        }
+        # One NIC per superchip; egress/ingress links onto the IB fabric.
+        self.nic_out: Dict[GpuId, Link] = {
+            g: Link(engine, f"ib_out{g}", p.ib_bw, p.ib_latency / 2)
+            for g in range(self.topo.n_gpus)
+        }
+        self.nic_in: Dict[GpuId, Link] = {
+            g: Link(engine, f"ib_in{g}", p.ib_bw, p.ib_latency / 2)
+            for g in range(self.topo.n_gpus)
+        }
+        # Copy engine per GPU: host-initiated peer copies (UCX cuda_ipc
+        # puts = cuMemcpyDtoDAsync) serialize through it with a per-op
+        # setup cost, which caps their aggregate NVLink efficiency below
+        # what SM-driven stores (Kernel-Copy, NCCL) achieve.
+        from repro.sim.resources import Resource
+
+        self.copy_engine: Dict[GpuId, Resource] = {
+            g: Resource(engine, capacity=1) for g in range(self.topo.n_gpus)
+        }
+        # Host memory ports per node, direction-specific (tx = source-side
+        # read, rx = destination-side write).  Direction-specific links keep
+        # every route's acquisition order hierarchical (tx < nic_out <
+        # nic_in < rx), which makes concurrent transfers deadlock-free.
+        self.hostmem_tx: Dict[int, Link] = {
+            n: Link(engine, f"hostmem_tx{n}", p.host_mem_bw, 0.05 * us)
+            for n in range(self.topo.n_nodes)
+        }
+        self.hostmem_rx: Dict[int, Link] = {
+            n: Link(engine, f"hostmem_rx{n}", p.host_mem_bw, 0.05 * us)
+            for n in range(self.topo.n_nodes)
+        }
+
+    # -- route resolution ------------------------------------------------------
+    def route(self, src: Buffer, dst: Buffer) -> List[Link]:
+        """Resolve the link path for a payload from ``src`` to ``dst``.
+
+        The NIC used for an inter-node hop is the one belonging to the
+        source/destination superchip (GPUDirect-RDMA-style: device memory
+        moves straight through the local NIC without host staging).
+        """
+        s_space, s_node, s_gpu = src.location()
+        d_space, d_node, d_gpu = dst.location()
+
+        s_dev = s_space in (MemSpace.DEVICE, MemSpace.UNIFIED) and s_gpu is not None
+        d_dev = d_space in (MemSpace.DEVICE, MemSpace.UNIFIED) and d_gpu is not None
+
+        if s_node == d_node:
+            if s_dev and d_dev:
+                if s_gpu == d_gpu:
+                    return [self.hbm[s_gpu]]
+                key = (s_gpu, d_gpu)
+                if key not in self.nvlink:
+                    raise RouteError(f"no NVLink between gpus {s_gpu} and {d_gpu}")
+                return [self.nvlink[key]]
+            if s_dev and not d_dev:
+                return [self.c2c_d2h[s_gpu]]
+            if not s_dev and d_dev:
+                return [self.c2c_h2d[d_gpu]]
+            return [self.hostmem_tx[s_node], self.hostmem_rx[d_node]]
+
+        # inter-node
+        out_nic = self.nic_out[s_gpu] if s_dev else self.nic_out[self.topo.gpus_on_node(s_node)[0]]
+        in_nic = self.nic_in[d_gpu] if d_dev else self.nic_in[self.topo.gpus_on_node(d_node)[0]]
+        route: List[Link] = []
+        if not s_dev and s_space is MemSpace.HOST:
+            route.append(self.hostmem_tx[s_node])
+        route.append(out_nic)
+        route.append(in_nic)
+        if not d_dev and d_space is MemSpace.HOST:
+            route.append(self.hostmem_rx[d_node])
+        return route
+
+    # -- transfers --------------------------------------------------------------
+    def transfer(self, src: Buffer, dst: Buffer, name: str = "xfer") -> Event:
+        """Move ``src``'s payload into ``dst``; event fires when data landed.
+
+        The payload copy happens exactly at arrival time, so a reader that
+        waits for the event observes the new data and a reader that races
+        observes the old data — matching RMA visibility semantics.
+        """
+        if len(src.data) != len(dst.data):
+            raise ValueError(
+                f"transfer size mismatch: {len(src.data)} vs {len(dst.data)} elements"
+            )
+        route = self.route(src, dst)
+        return start_transfer(
+            self.engine,
+            route,
+            src.nbytes,
+            on_wire_done=lambda: dst.copy_from(src),
+            name=name,
+        )
+
+    def host_initiated_transfer(self, src: Buffer, dst: Buffer, name: str = "hxfer") -> Event:
+        """A transfer issued by *host* software (UCX put, MPI rendezvous).
+
+        Intra-node device-to-device payloads ride the cuda_ipc path: a
+        host-mediated async copy through the source GPU's copy engine,
+        paying the per-op setup cost — the mechanism the Kernel-Copy
+        design bypasses (paper Section IV-A4).  Everything else (host
+        buffers, same-GPU, inter-node GPUDirect) is a plain transfer.
+        """
+        cuda_ipc = (
+            src.space is MemSpace.DEVICE
+            and dst.space is MemSpace.DEVICE
+            and src.node == dst.node
+            and src.gpu != dst.gpu
+        )
+        if not cuda_ipc:
+            return self.transfer(src, dst, name=name)
+        overhead = self.config.params.cuda_ipc_put_overhead
+        engine_res = self.copy_engine[src.gpu]
+
+        def staged():
+            yield engine_res.acquire()
+            try:
+                yield self.engine.timeout(overhead)
+                yield self.transfer(src, dst, name=name)
+            finally:
+                engine_res.release()
+
+        return self.engine.process(staged(), name=name)
+
+    def transfer_bytes(self, src: Buffer, dst: Buffer, nbytes: int, name: str = "ctrl") -> Event:
+        """Timed transfer of ``nbytes`` along src->dst route without payload.
+
+        Used for control messages (flags, setup packets) whose logical
+        content is applied by the caller on completion.
+        """
+        route = self.route(src, dst)
+        return start_transfer(self.engine, route, nbytes, name=name)
+
+    def gpu_distance(self, a: GpuId, b: GpuId) -> str:
+        """'local' | 'nvlink' | 'ib' — used by protocol selection."""
+        if a == b:
+            return "local"
+        return "nvlink" if self.topo.same_node(a, b) else "ib"

@@ -1,0 +1,45 @@
+"""MPI core: communicators, point-to-point, collectives, progression.
+
+A faithful-enough MPI-4.0 subset to host the paper's contribution:
+
+* rank processes launched by :class:`~repro.mpi.world.World` (an
+  ``mpiexec`` equivalent running every rank as a coroutine in one
+  deterministic simulation);
+* receiver-side tag matching with eager/rendezvous protocols, CUDA-aware
+  (device buffers move directly over NVLink/IB routes);
+* blocking/nonblocking/persistent point-to-point;
+* traditional collectives used as the paper's baselines (host-staged
+  ``Allreduce`` etc.);
+* a per-rank progression engine — the component that the paper's
+  GPU-initiated designs hook into.
+
+MPI Partitioned lives in :mod:`repro.partitioned`; partitioned collectives
+in :mod:`repro.pcoll`.  Both plug into the :class:`MpiRuntime` here.
+"""
+
+from repro.mpi.errors import MpiError, MpiMatchError, MpiStateError, MpiUsageError
+from repro.mpi.ops import MAX, MIN, PROD, SUM, LAND, LOR, MpiOp, NOP
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.requests import Request
+from repro.mpi.world import RankCtx, World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MpiError",
+    "MpiMatchError",
+    "MpiOp",
+    "MpiStateError",
+    "MpiUsageError",
+    "NOP",
+    "PROD",
+    "RankCtx",
+    "Request",
+    "SUM",
+    "World",
+]

@@ -1,0 +1,178 @@
+"""Communicators.
+
+A :class:`CommGroup` is the shared identity of a communicator (id + the
+ordered list of world ranks); each rank holds its own :class:`Communicator`
+facade bound to its local runtime, exposing the MPI API as generator
+methods (``req = yield from comm.isend(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional, Sequence
+
+from repro.hw.memory import Buffer
+from repro.mpi import p2p
+from repro.mpi.errors import MpiUsageError
+from repro.mpi.matching import ANY
+from repro.mpi.ops import MpiOp, SUM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import MpiRuntime
+
+ANY_SOURCE = ANY
+ANY_TAG = ANY
+
+
+class CommGroup:
+    """Shared communicator identity."""
+
+    def __init__(self, comm_id: int, world_ranks: Sequence[int]) -> None:
+        self.comm_id = comm_id
+        self.world_ranks: List[int] = list(world_ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+
+class Communicator:
+    """One rank's view of a communicator."""
+
+    def __init__(self, group: CommGroup, rt: "MpiRuntime") -> None:
+        self.group = group
+        self.rt = rt
+        try:
+            self.rank = group.world_ranks.index(rt.world_rank)
+        except ValueError:
+            raise MpiUsageError(
+                f"world rank {rt.world_rank} is not in communicator {group.comm_id}"
+            )
+        rt.comms[group.comm_id] = self
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def comm_id(self) -> int:
+        return self.group.comm_id
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def world_rank_of(self, comm_rank: int) -> int:
+        if not 0 <= comm_rank < self.size:
+            raise MpiUsageError(f"rank {comm_rank} out of range (size {self.size})")
+        return self.group.world_ranks[comm_rank]
+
+    # -- communicator management ------------------------------------------------
+    def dup(self) -> Generator:
+        """MPI_Comm_dup: same group, fresh context id (collective)."""
+        return (yield from self.split(color=0, key=self.rank))
+
+    def split(self, color: int, key: Optional[int] = None) -> Generator:
+        """MPI_Comm_split (collective): group by ``color``, order by ``key``.
+
+        ``color < 0`` (MPI_UNDEFINED) yields None for that rank.  The new
+        context id and memberships are agreed out-of-band through the
+        launcher (PMIx-style), then a barrier on the parent synchronizes
+        the ranks like the real collective would.
+        """
+        rt = self.rt
+        key = key if key is not None else self.rank
+        world = rt.world
+        slot = world.comm_split_slot(self)
+        slot.submit(self.rank, color, key, rt.world_rank)
+        yield from self.barrier()
+        group = slot.group_for(color)
+        if group is None:
+            return None
+        return Communicator(group, rt)
+
+    # -- point-to-point ------------------------------------------------------------
+    def isend(self, buf: Buffer, dest: int, tag: int = 0) -> Generator:
+        return (yield from p2p.isend(self, buf, dest, tag))
+
+    def irecv(self, buf: Buffer, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        return (yield from p2p.irecv(self, buf, source, tag))
+
+    def send(self, buf: Buffer, dest: int, tag: int = 0) -> Generator:
+        yield from p2p.send(self, buf, dest, tag)
+
+    def recv(self, buf: Buffer, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        return (yield from p2p.recv(self, buf, source, tag))
+
+    def send_init(self, buf: Buffer, dest: int, tag: int = 0) -> Generator:
+        return (yield from p2p.send_init(self, buf, dest, tag))
+
+    def recv_init(self, buf: Buffer, source: int, tag: int = 0) -> Generator:
+        return (yield from p2p.recv_init(self, buf, source, tag))
+
+    def sendrecv(
+        self,
+        sendbuf: Buffer,
+        dest: int,
+        recvbuf: Buffer,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Generator:
+        yield from p2p.sendrecv(self, sendbuf, dest, recvbuf, source, sendtag, recvtag)
+
+    # -- collectives (traditional baselines) ------------------------------------------
+    def barrier(self) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.barrier(self)
+
+    def bcast(self, buf: Buffer, root: int = 0) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.bcast(self, buf, root)
+
+    def allreduce(self, sendbuf: Buffer, recvbuf: Buffer, op: MpiOp = SUM) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.allreduce(self, sendbuf, recvbuf, op)
+
+    def reduce(self, sendbuf: Buffer, recvbuf: Optional[Buffer], op: MpiOp = SUM, root: int = 0) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.reduce(self, sendbuf, recvbuf, op, root)
+
+    def allgather(self, sendbuf: Buffer, recvbuf: Buffer) -> Generator:
+        from repro.mpi import collectives
+
+        yield from collectives.allgather(self, sendbuf, recvbuf)
+
+    # -- MPI Partitioned (the paper's contribution) --------------------------------------
+    def psend_init(self, buf: Buffer, partitions: int, dest: int, tag: int = 0) -> Generator:
+        from repro.partitioned.p2p import psend_init
+
+        return (yield from psend_init(self, buf, partitions, dest, tag))
+
+    def precv_init(self, buf: Buffer, partitions: int, source: int, tag: int = 0) -> Generator:
+        from repro.partitioned.p2p import precv_init
+
+        return (yield from precv_init(self, buf, partitions, source, tag))
+
+    # -- Partitioned collectives ------------------------------------------------------
+    def pallreduce_init(
+        self, sendbuf: Buffer, recvbuf: Buffer, partitions: int, op: MpiOp = SUM, **kw
+    ) -> Generator:
+        from repro.pcoll.api import pallreduce_init
+
+        return (yield from pallreduce_init(self, sendbuf, recvbuf, partitions, op, **kw))
+
+    def pbcast_init(self, buf: Buffer, partitions: int, root: int = 0, **kw) -> Generator:
+        from repro.pcoll.api import pbcast_init
+
+        return (yield from pbcast_init(self, buf, partitions, root, **kw))
+
+    def preduce_init(
+        self, buf: Buffer, partitions: int, op: MpiOp = SUM, root: int = 0, **kw
+    ) -> Generator:
+        from repro.pcoll.api import preduce_init
+
+        return (yield from preduce_init(self, buf, partitions, op, root, **kw))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator id={self.comm_id} rank={self.rank}/{self.size}>"

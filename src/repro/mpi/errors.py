@@ -1,0 +1,24 @@
+"""MPI error hierarchy.
+
+MPI's default error handler aborts; we raise instead so tests can assert
+misuse (e.g. Pready before Start, partition index out of range, datatype
+mismatches).
+"""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base of all MPI-layer errors."""
+
+
+class MpiUsageError(MpiError):
+    """API misuse: bad arguments, wrong buffer space, count mismatch."""
+
+
+class MpiStateError(MpiError):
+    """Call sequence violation: e.g. MPI_Pready before MPI_Start."""
+
+
+class MpiMatchError(MpiError):
+    """Unmatchable communication (e.g. truncation on receive)."""

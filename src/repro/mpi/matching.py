@@ -1,0 +1,108 @@
+"""Receiver-side tag matching and a generic keyed FIFO matcher.
+
+:class:`TagMatcher` implements MPI's two-queue scheme: posted receives and
+unexpected messages, matched on (communicator, source, tag) with
+``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG`` wildcards, preserving the
+non-overtaking order guarantee for identical envelopes.
+
+:class:`KeyedMatcher` is the simpler exact-key FIFO pairing used by the
+partitioned setup_t exchange (matching is "communicator, rank, tag, and
+the order in which they are posted" — paper Section II-B1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+ANY = -1  # wildcard for source/tag
+
+
+def envelope_matches(posted_src: int, posted_tag: int, src: int, tag: int) -> bool:
+    """Does an incoming (src, tag) satisfy a posted (source, tag) pattern?"""
+    return (posted_src == ANY or posted_src == src) and (
+        posted_tag == ANY or posted_tag == tag
+    )
+
+
+class TagMatcher:
+    """MPI posted-receive / unexpected-message matching for one rank."""
+
+    def __init__(self) -> None:
+        # Both lists ordered by posting/arrival time (non-overtaking).
+        self._posted: List[Tuple[int, int, int, Any]] = []  # (comm_id, src, tag, rreq)
+        self._unexpected: List[Tuple[int, int, int, Any]] = []  # (comm_id, src, tag, msg)
+
+    # -- receiver posts a receive ------------------------------------------------
+    def post_recv(self, comm_id: int, source: int, tag: int, rreq: Any) -> Optional[Any]:
+        """Try to match an unexpected message; otherwise queue the receive.
+
+        Returns the matched message, or None if the receive was queued.
+        """
+        for i, (c, s, t, msg) in enumerate(self._unexpected):
+            if c == comm_id and envelope_matches(source, tag, s, t):
+                del self._unexpected[i]
+                return msg
+        self._posted.append((comm_id, source, tag, rreq))
+        return None
+
+    # -- progress engine delivers a message ----------------------------------------
+    def deliver(self, comm_id: int, src: int, tag: int, msg: Any) -> Optional[Any]:
+        """Try to match a posted receive; otherwise queue as unexpected.
+
+        Returns the matched posted receive request, or None if queued.
+        """
+        for i, (c, s, t, rreq) in enumerate(self._posted):
+            if c == comm_id and envelope_matches(s, t, src, tag):
+                del self._posted[i]
+                return rreq
+        self._unexpected.append((comm_id, src, tag, msg))
+        return None
+
+    @property
+    def n_posted(self) -> int:
+        return len(self._posted)
+
+    @property
+    def n_unexpected(self) -> int:
+        return len(self._unexpected)
+
+
+class KeyedMatcher:
+    """Exact-key FIFO pairing of producers and consumers.
+
+    ``get(key)`` returns an event for the next item put under ``key``;
+    items and getters pair strictly FIFO per key.  Used for partitioned
+    setup matching, RTR signals, and collective-group synchronization.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._items: Dict[Hashable, Deque[Any]] = {}
+        self._getters: Dict[Hashable, Deque[Event]] = {}
+
+    def put(self, key: Hashable, item: Any) -> None:
+        getters = self._getters.get(key)
+        if getters:
+            getters.popleft().succeed(item)
+            if not getters:
+                del self._getters[key]
+        else:
+            self._items.setdefault(key, deque()).append(item)
+
+    def get(self, key: Hashable) -> Event:
+        ev = Event(self.engine)
+        items = self._items.get(key)
+        if items:
+            ev.succeed(items.popleft())
+            if not items:
+                del self._items[key]
+        else:
+            self._getters.setdefault(key, deque()).append(ev)
+        return ev
+
+    def pending(self, key: Hashable) -> int:
+        return len(self._items.get(key, ()))

@@ -1,0 +1,17 @@
+"""NCCL-like baseline library.
+
+Models what makes NCCL fast relative to the paper's partitioned allreduce
+(Section VI-B): ``ncclAllReduce`` runs as **one fused kernel** that moves
+chunks peer-to-peer with intra-kernel load/store copies and reduces in
+device memory — no per-step kernel launches, no ``cudaStreamSynchronize``
+inside the collective, no host progression round-trips.
+
+The ring algorithm, data movement, and reductions are actually executed
+(NumPy payloads over the simulated fabric), so results are verifiable and
+contention is modelled; only the intra-kernel scheduling is abstracted to
+a per-step pipeline.
+"""
+
+from repro.nccl.allreduce import NcclComm
+
+__all__ = ["NcclComm"]

@@ -1,0 +1,196 @@
+"""Device bindings: MPIX_Pready / MPIX_Parrived callable from kernels.
+
+Exact (per-block) forms for :class:`~repro.cuda.kernel.BlockKernel` bodies —
+each returns a process event the body may ``yield`` (wait) or post::
+
+    def body(blk):
+        yield blk.compute(work)
+        yield pready_block(blk, preq)
+
+and the bulk form :func:`pready_wave` for
+:class:`~repro.cuda.kernel.UniformKernel` wave hooks (O(1) events per wave
+regardless of grid size).
+
+Signal aggregation (paper Section IV-A4, Fig 3):
+
+* ``pready_thread`` — every thread stores a flag into pinned host memory
+  (the MPI-ACX-style baseline): ``block_threads`` serialized C2C writes;
+* ``pready_warp`` — ``__shfl_sync`` within each warp, lane 0 writes:
+  ``ceil(block_threads/32)`` writes;
+* ``pready_block`` — ``__syncthreads()``, thread 0 writes once; with
+  multi-block transport partitions, global-memory counters aggregate and
+  only the threshold-crossing block writes to the host.
+
+In Kernel-Copy mode the threshold-crossing block also performs the direct
+NVLink store of the transport partition through the ``rkey_ptr``-mapped
+remote buffer before signalling the host for the completion path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.cuda.devapi import BlockCtx, KernelCtx
+from repro.cuda.kernel import Wave
+from repro.mpi.errors import MpiStateError, MpiUsageError
+from repro.partitioned.aggregation import SignalMode
+from repro.partitioned.prequest import CopyMode, Prequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partitioned.p2p import PrecvRequest
+
+
+def _check_device_call(blk_device, preq: Prequest) -> None:
+    if preq.freed:
+        raise MpiStateError("device MPIX_Pready on a freed MPIX_Prequest")
+    if not preq.sreq.active:
+        raise MpiStateError("device MPIX_Pready outside an active epoch")
+    if blk_device is not preq.device:
+        raise MpiUsageError(
+            "MPIX_Prequest was created for a different device than the kernel runs on"
+        )
+
+
+# --------------------------------------------------------------------------
+# exact per-block bindings (BlockKernel bodies)
+# --------------------------------------------------------------------------
+
+def _signal_then_maybe_copy(blk: BlockCtx, preq: Prequest, host_writes: int):
+    """Shared tail: gmem aggregation, optional kernel copy, host signal."""
+    tp = preq.agg.tp_of_block(blk.block_id)
+    count = yield blk.atomic_add(preq.gmem_counters[tp])
+    crossing = count == preq.agg.gmem_threshold()
+    if preq.mode is CopyMode.KERNEL_COPY:
+        if crossing:
+            # The crossing block stores the whole transport partition over
+            # NVLink.  Stores are *posted*: the block proceeds to raise
+            # the host completion signal immediately, and the progression
+            # engine gates the flag-only completion on the copy event.
+            preq.kc_copy_events[tp] = blk.copy(preq.src_slice(tp), preq.mapped_slice(tp))
+            yield blk.write_host_flag(preq.host_signals[tp])
+    else:
+        if preq.agg.signal_mode is SignalMode.BLOCK:
+            if crossing:
+                yield blk.write_host_flags(1, preq.host_signals[tp])
+        else:
+            # Thread/warp modes: every actor writes (no cross-block gating).
+            yield blk.write_host_flags(host_writes, preq.host_signals[tp], amount=host_writes)
+
+
+def pready_thread(blk: BlockCtx, preq: Prequest):
+    """MPIX_Pready_thread: each of the block's threads signals the host."""
+    _check_device_call(blk.device, preq)
+    if preq.agg.signal_mode is not SignalMode.THREAD:
+        raise MpiUsageError("prequest was not created with SignalMode.THREAD")
+
+    def proc() -> Generator:
+        yield from _signal_then_maybe_copy(blk, preq, blk.block_threads)
+
+    return blk.engine.process(proc(), name=f"pready_t.b{blk.block_id}")
+
+
+def pready_warp(blk: BlockCtx, preq: Prequest):
+    """MPIX_Pready_warp: warps __shfl_sync-reduce, lane 0 signals."""
+    _check_device_call(blk.device, preq)
+    if preq.agg.signal_mode is not SignalMode.WARP:
+        raise MpiUsageError("prequest was not created with SignalMode.WARP")
+
+    def proc() -> Generator:
+        # Intra-warp shuffle reduction cost (cheap, on-SM).
+        yield blk.engine.timeout(blk.device.cost.syncthreads_cost / 2)
+        yield from _signal_then_maybe_copy(blk, preq, preq.agg.warps_per_block)
+
+    return blk.engine.process(proc(), name=f"pready_w.b{blk.block_id}")
+
+
+def pready_block(blk: BlockCtx, preq: Prequest):
+    """MPIX_Pready_block: __syncthreads(), thread 0 signals once."""
+    _check_device_call(blk.device, preq)
+    if preq.agg.signal_mode is not SignalMode.BLOCK:
+        raise MpiUsageError("prequest was not created with SignalMode.BLOCK")
+
+    def proc() -> Generator:
+        yield blk.syncthreads()
+        yield from _signal_then_maybe_copy(blk, preq, 1)
+
+    return blk.engine.process(proc(), name=f"pready_b.b{blk.block_id}")
+
+
+def pready(blk: BlockCtx, preq: Prequest):
+    """Generic device MPIX_Pready: dispatch on the prequest's signal mode."""
+    mode = preq.agg.signal_mode
+    if mode is SignalMode.THREAD:
+        return pready_thread(blk, preq)
+    if mode is SignalMode.WARP:
+        return pready_warp(blk, preq)
+    return pready_block(blk, preq)
+
+
+def parrived_device(blk: BlockCtx, rreq: "PrecvRequest", partition: int):
+    """Device MPIX_Parrived: spin on the device-visible mirror flag.
+
+    The receive-side completion flags live in pinned host memory; the
+    device polls a global-memory mirror that the host refreshes (paper:
+    "we issue a memory copy to the device in MPI_Wait as partitions
+    arrive").  We charge that H2D visibility latency on the wait.
+    """
+    flag = rreq.arrived_flags[partition]
+
+    def proc() -> Generator:
+        if not flag.is_set:
+            yield flag.wait()
+        yield blk.engine.timeout(blk.device.fabric.config.params.host_to_dev_flag)
+        return True
+
+    return blk.engine.process(proc(), name=f"parrived.b{blk.block_id}")
+
+
+# --------------------------------------------------------------------------
+# bulk binding (UniformKernel wave hooks)
+# --------------------------------------------------------------------------
+
+def pready_wave(kctx: KernelCtx, preq: Prequest, wave: Wave) -> None:
+    """Apply a whole wave's MPIX_Pready effects in O(transport partitions).
+
+    Equivalent to every block in ``wave.blocks`` executing the exact
+    binding matching ``preq.agg.signal_mode``: global counters advance by
+    the per-partition block counts, crossings trigger the kernel copy
+    and/or host signal, and thread/warp modes charge their full write
+    storms (serialized on the C2C link).
+    """
+    _check_device_call(kctx.device, preq)
+    agg = preq.agg
+    # Group the wave's blocks by transport partition (contiguous ranges).
+    first_tp = agg.tp_of_block(wave.blocks[0])
+    last_tp = agg.tp_of_block(wave.blocks[-1])
+    for tp in range(first_tp, last_tp + 1):
+        lo = max(wave.blocks[0], tp * agg.blocks_per_partition)
+        hi = min(wave.blocks[-1] + 1, (tp + 1) * agg.blocks_per_partition)
+        n_blocks = hi - lo
+        if n_blocks <= 0:
+            continue
+        counter = preq.gmem_counters[tp]
+        before = counter.value
+        kctx.bulk_atomic_adds(counter, n_blocks)
+        crossed = before < agg.gmem_threshold() <= before + n_blocks
+
+        if preq.mode is CopyMode.KERNEL_COPY:
+            if crossed:
+                kctx.engine.process(
+                    _kc_copy_then_signal(kctx, preq, tp), name=f"kc_tp{tp}"
+                )
+        elif agg.signal_mode is SignalMode.BLOCK:
+            if crossed:
+                kctx.bulk_host_flag_writes(1, preq.host_signals[tp])
+        else:
+            per_block = agg.host_writes_per_block()
+            kctx.bulk_host_flag_writes(
+                n_blocks * per_block, preq.host_signals[tp], amount=n_blocks * per_block
+            )
+
+
+def _kc_copy_then_signal(kctx: KernelCtx, preq: Prequest, tp: int) -> Generator:
+    # Post the direct store; signal the host concurrently (the progression
+    # engine gates the completion flag on the copy event).
+    preq.kc_copy_events[tp] = kctx.copy(preq.src_slice(tp), preq.mapped_slice(tp))
+    yield kctx.bulk_host_flag_writes(1, preq.host_signals[tp])

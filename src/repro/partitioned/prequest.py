@@ -1,0 +1,219 @@
+"""MPIX_Prequest: the device-resident partitioned request.
+
+Paper Section IV-A3: ``MPIX_Prequest_create`` moves the minimal information
+a GPU needs into device global memory — the copy mode, the aggregation
+threshold, the per-transport-partition counters — and allocates the pinned
+host flags the progression engine watches.  It is *blocking* so the first
+device-side ``MPIX_Pready`` always sees a valid request; its cost
+(Table I: 110.7 us) is dominated by the cudaMalloc/cudaMallocHost pair,
+flag registration, and the host-to-device copy, plus ``ucp_rkey_ptr`` when
+the Kernel-Copy mode maps the remote buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+import numpy as np
+
+from repro.hw.memory import Buffer, MemSpace
+from repro.mpi.errors import MpiStateError, MpiUsageError
+from repro.partitioned.aggregation import AggregationSpec, SignalMode
+from repro.partitioned.p2p import PUT_ISSUE_COST, PsendRequest
+from repro.sim.resources import Counter
+from repro.ucx.memreg import rkey_ptr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cuda.device import Device
+
+
+class CopyMode(enum.Enum):
+    """How device-side Pready moves the data (Section IV-A4)."""
+
+    PROGRESSION_ENGINE = "pe"      # device signals; host issues ucp_put_nbx
+    KERNEL_COPY = "kernel_copy"    # device stores via rkey_ptr; host sends completion
+
+
+class Prequest:
+    """Device-resident request state for one partitioned send channel."""
+
+    def __init__(
+        self,
+        sreq: PsendRequest,
+        device: "Device",
+        agg: AggregationSpec,
+        mode: CopyMode,
+        on_ready=None,
+    ) -> None:
+        """``on_ready(tp)`` overrides what the progression engine does when
+        a transport partition's signals complete; the default issues the
+        channel's host ``MPI_Pready``.  Partitioned collectives pass their
+        user-partition trigger here (paper Section IV-B2)."""
+        self.sreq = sreq
+        self.device = device
+        self.agg = agg
+        self.mode = mode
+        self.on_ready = on_ready
+        self.engine = sreq.engine
+        self.rt = sreq.rt
+
+        # Global-memory aggregation counters, one per transport partition.
+        self.gmem_counters: List[Counter] = [
+            Counter(self.engine) for _ in range(agg.n_transport)
+        ]
+        # Pinned-host signal counters the progression engine watches.
+        self.host_signals: List[Counter] = [
+            Counter(self.engine) for _ in range(agg.n_transport)
+        ]
+        # Kernel-Copy: device-mapped view of the remote receive buffer,
+        # plus the in-flight direct-store events (the completion-flag put
+        # is gated on the matching copy so the receiver can never observe
+        # the flag before the data).
+        self.mapped_remote: Optional[Buffer] = None
+        self.kc_copy_events: dict = {}
+        self._watchers: List = []
+        self.freed = False
+
+    # -- geometry helpers -------------------------------------------------------
+    def src_slice(self, tp: int) -> Buffer:
+        """Sender-side data of transport partition ``tp``."""
+        return self.sreq.buf.partition(tp, self.agg.n_transport)
+
+    def mapped_slice(self, tp: int) -> Buffer:
+        if self.mapped_remote is None:
+            raise MpiStateError("kernel-copy slice requested but rkey_ptr not mapped")
+        return self.mapped_remote.partition(tp, self.agg.n_transport)
+
+    # -- epoch management ------------------------------------------------------------
+    def arm_epoch(self) -> None:
+        """Reset counters and start progression watchers for this epoch.
+
+        Called by ``MPI_Start`` (and once at create time if the channel is
+        already started): re-arms the persistent channel exactly like the
+        paper's flag reset.
+        """
+        if self.freed:
+            raise MpiStateError("arm_epoch on a freed MPIX_Prequest")
+        expected = self.agg.expected_host_signals()
+        epoch = self.sreq.epoch
+        self.kc_copy_events.clear()
+        for tp in range(self.agg.n_transport):
+            self.gmem_counters[tp].reset()
+            self.host_signals[tp].reset()
+        self._watchers = [
+            self.engine.process(self._watch(tp, expected, epoch), name=f"preq.watch{tp}")
+            for tp in range(self.agg.n_transport)
+        ]
+
+    def _watch(self, tp: int, expected: int, epoch: int) -> Generator:
+        """Progression-engine watcher for one transport partition."""
+        yield self.host_signals[tp].wait_for(expected)
+        if self.freed or self.sreq.epoch != epoch:
+            return  # stale watcher from a previous epoch
+        # Polling delay before the progression thread notices the signal.
+        yield self.engine.timeout(self.rt.params.progress_poll_latency)
+        yield self.rt.progress.dispatch(
+            lambda: self._host_pready(tp), name=f"pready_tp{tp}"
+        )
+
+    def _host_pready(self, tp: int) -> Generator:
+        """The progression engine's internal MPI_Pready issue."""
+        yield self.engine.timeout(PUT_ISSUE_COST)
+        if self.on_ready is not None:
+            self.on_ready(tp)
+            return
+        if self.mode is CopyMode.KERNEL_COPY:
+            # The flag-only completion must not overtake the direct store;
+            # usually the copy landed long ago and this is a no-op wait.
+            copy_ev = self.kc_copy_events.get(tp)
+            if copy_ev is not None and not copy_ev.triggered:
+                yield copy_ev
+            self.sreq.issue_pready(tp, with_data=False)
+        else:
+            self.sreq.issue_pready(tp, with_data=True)
+
+    # -- free ------------------------------------------------------------------------
+    def free(self) -> Generator:
+        """MPIX_Prequest_free: release device + pinned host allocations."""
+        cost = self.device.cost
+        yield self.engine.timeout(cost.memcpy_api_cost)  # cudaFree / cudaFreeHost
+        self.freed = True
+        self.sreq.preq = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Prequest mode={self.mode.value} tps={self.agg.n_transport} "
+            f"signal={self.agg.signal_mode.value}>"
+        )
+
+
+def prequest_create(
+    sreq: PsendRequest,
+    device: "Device",
+    agg: Optional[AggregationSpec] = None,
+    mode: Optional[CopyMode] = None,
+    grid: Optional[int] = None,
+    block: Optional[int] = None,
+    blocks_per_partition: Optional[int] = None,
+    signal_mode: SignalMode = SignalMode.BLOCK,
+) -> Generator:
+    """MPIX_Prequest_create (blocking).
+
+    Either pass a full :class:`AggregationSpec` via ``agg`` or the kernel
+    geometry (``grid``, ``block``) and let the spec be derived with
+    ``blocks_per_partition`` defaulting to ``grid / sreq.partitions``.
+    The spec's transport-partition count must equal the channel's wire
+    partition count.
+    """
+    mode = mode or CopyMode.PROGRESSION_ENGINE
+    if agg is None:
+        if grid is None or block is None:
+            raise MpiUsageError("prequest_create needs either agg or grid+block")
+        if blocks_per_partition is None:
+            if grid % sreq.partitions != 0:
+                raise MpiUsageError(
+                    f"grid {grid} not divisible by wire partitions {sreq.partitions}"
+                )
+            blocks_per_partition = grid // sreq.partitions
+        agg = AggregationSpec(grid, block, blocks_per_partition, signal_mode)
+    if agg.n_transport != sreq.partitions:
+        raise MpiUsageError(
+            f"aggregation produces {agg.n_transport} transport partitions but the "
+            f"channel was initialized with {sreq.partitions}"
+        )
+    if not sreq.prepared_once:
+        raise MpiStateError(
+            "MPIX_Prequest_create before the first MPIX_Pbuf_prepare: remote "
+            "rkeys are not available yet"
+        )
+    if mode is CopyMode.KERNEL_COPY:
+        target = sreq.rkey_data.target
+        if target.gpu is None or not sreq.rt.fabric.topo.same_node(device.gpu_id, target.gpu):
+            raise MpiUsageError(
+                "Kernel-Copy mode requires an intra-node (NVLink-reachable) "
+                "device-memory peer; use PROGRESSION_ENGINE otherwise"
+            )
+
+    rt = sreq.rt
+    cost = device.cost
+    # cudaMalloc for the device request + counters.
+    yield rt.engine.timeout(cost.cuda_malloc_cost)
+    # cudaMallocHost for the pinned progression flags.
+    yield rt.engine.timeout(cost.cuda_host_alloc_cost)
+    # Register the flag region so the progression engine / NIC can see it.
+    yield rt.engine.timeout(rt.params.ucp_mem_map_per_call)
+    preq = Prequest(sreq, device, agg, mode)
+    if mode is CopyMode.KERNEL_COPY:
+        # Resolve the device-mapped remote pointer (cuda_ipc rkey_ptr).
+        preq.mapped_remote = yield from rkey_ptr(rt.worker, sreq.rkey_data, device.gpu_id)
+    # Populate the host-side staging struct and copy it to the device.
+    yield rt.engine.timeout(cost.memcpy_api_cost)
+    staging = Buffer.alloc(64, np.int8, MemSpace.PINNED, node=rt.node)
+    dev_struct = Buffer.alloc(64, np.int8, MemSpace.DEVICE, node=device.node, gpu=device.gpu_id)
+    yield rt.fabric.transfer(staging, dev_struct, name="preq_h2d")
+
+    sreq.preq = preq
+    if sreq.active:
+        preq.arm_epoch()
+    return preq

@@ -1,0 +1,63 @@
+"""The ``setup_t`` wire objects of the partitioned handshake.
+
+Paper Section IV-A1/2: the sender packs matching information (communicator,
+ranks, tag), geometry (partitions, element counts), and its worker address
+into a ``setup_t`` sent non-blockingly at ``MPI_Psend_init`` time.  The
+receiver, inside its first ``MPIX_Pbuf_prepare``, registers its buffers and
+replies with a ``setup_t`` response carrying the remote keys and address —
+everything the sender needs for RMA puts.
+
+``arrived_sink`` stands in for the physical effect of the chained
+completion-flag put: the receiver observing a 1 in its pinned flag array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+from repro.ucx.context import WorkerAddress
+from repro.ucx.memreg import PackedRkey
+
+#: Matching key: (comm_id, sender comm-rank, receiver comm-rank, tag).
+ChannelKey = Tuple[int, int, int, int]
+
+#: Wire size of a setup packet (small control message).
+SETUP_BYTES = 192
+
+
+@dataclass(frozen=True)
+class SetupT:
+    """Sender -> receiver: channel parameters (sent at Psend_init)."""
+
+    key: ChannelKey
+    partitions: int
+    elems_per_partition: int
+    itemsize: int
+    worker_addr: WorkerAddress
+
+    @property
+    def partition_bytes(self) -> int:
+        return self.elems_per_partition * self.itemsize
+
+
+@dataclass(frozen=True)
+class SetupResp:
+    """Receiver -> sender: rkeys + address (sent from first Pbuf_prepare)."""
+
+    key: ChannelKey
+    rkey_data: PackedRkey
+    rkey_flags: PackedRkey
+    worker_addr: WorkerAddress
+    partitions: int
+    # In-process stand-in for the receiver polling its arrived-flag memory:
+    # invoked when the chained flag put lands (index = transport partition).
+    arrived_sink: Callable[[int], None] = field(repr=False, compare=False, default=None)
+
+
+@dataclass(frozen=True)
+class ReadyToReceive:
+    """Receiver -> sender: buffer re-armed for a new epoch (later epochs)."""
+
+    key: ChannelKey
+    epoch: int

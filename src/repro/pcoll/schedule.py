@@ -1,0 +1,106 @@
+"""The generic partitioned-collective schedule.
+
+A :class:`Schedule` is rank-local: each rank builds its own view of the
+same global algorithm (like MPI neighborhood collectives, which inspired
+the design — paper Section IV-B1).  It consists of steps
+
+    ``S_i = (I, R, op, O, A)``
+
+where ``I``/``O`` are incoming/outgoing neighbour ranks, ``R`` is the
+chunk offset the step *sends*, ``A`` the chunk offset it *receives into*,
+and ``op`` the reduction applied to arriving data (or NOP for pure data
+movement).  Each user partition's data is divided into ``n_chunks`` equal
+chunks indexed by R/A; the ring allreduce uses ``n_chunks = P``, the tree
+broadcast ``n_chunks = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.mpi.errors import MpiUsageError
+from repro.mpi.ops import MpiOp, NOP
+
+OpOrNop = Union[MpiOp, type(NOP)]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule step ``(I, R, op, O, A)``."""
+
+    incoming: Tuple[int, ...]
+    send_chunk: int            # R: chunk offset sent this step
+    op: object                 # MpiOp or NOP
+    outgoing: Tuple[int, ...]
+    recv_chunk: int            # A: chunk offset received this step
+
+    def __post_init__(self) -> None:
+        if self.incoming and self.recv_chunk < 0:
+            raise MpiUsageError("step with incoming neighbours needs recv_chunk >= 0")
+        if self.outgoing and self.send_chunk < 0:
+            raise MpiUsageError("step with outgoing neighbours needs send_chunk >= 0")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A rank's full schedule plus chunk geometry.
+
+    ``requires_local_contribution`` marks collectives whose sends carry
+    this rank's own data (reduce/allreduce): the per-partition state
+    machine must wait for the application's ``MPI_Pready`` before its
+    first action.  Data-movement-only ranks (bcast forwarders/leaves)
+    progress on arrivals alone.
+    """
+
+    rank: int
+    n_ranks: int
+    n_chunks: int
+    steps: Tuple[Step, ...]
+    name: str = "schedule"
+    requires_local_contribution: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 1:
+            raise MpiUsageError("n_chunks must be >= 1")
+        for i, s in enumerate(self.steps):
+            for nbr in s.incoming + s.outgoing:
+                if not 0 <= nbr < self.n_ranks:
+                    raise MpiUsageError(
+                        f"step {i}: neighbour {nbr} out of range (P={self.n_ranks})"
+                    )
+                if nbr == self.rank:
+                    raise MpiUsageError(f"step {i}: self-neighbour")
+            if s.outgoing and not 0 <= s.send_chunk < self.n_chunks:
+                raise MpiUsageError(f"step {i}: send chunk {s.send_chunk} out of range")
+            if s.incoming and not 0 <= s.recv_chunk < self.n_chunks:
+                raise MpiUsageError(f"step {i}: recv chunk {s.recv_chunk} out of range")
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    # -- neighbour sets (channel creation) ------------------------------------
+    def all_outgoing(self) -> List[int]:
+        """Distinct outgoing neighbours in first-use order."""
+        seen: List[int] = []
+        for s in self.steps:
+            for o in s.outgoing:
+                if o not in seen:
+                    seen.append(o)
+        return seen
+
+    def all_incoming(self) -> List[int]:
+        seen: List[int] = []
+        for s in self.steps:
+            for i in s.incoming:
+                if i not in seen:
+                    seen.append(i)
+        return seen
+
+    def sends_to(self, neighbour: int) -> int:
+        """Total steps that send to ``neighbour`` (wire partitions needed)."""
+        return sum(1 for s in self.steps if neighbour in s.outgoing)
+
+    def recvs_from(self, neighbour: int) -> int:
+        return sum(1 for s in self.steps if neighbour in s.incoming)

@@ -1,0 +1,119 @@
+"""The discrete-event engine: a time-ordered heap of triggered events.
+
+Time is a ``float`` in **seconds**.  Constants throughout the code base use
+the helpers in :mod:`repro.units` (``us``, ``GiB`` …) to stay readable.
+
+Determinism: heap entries are ``(time, priority, seq)``; ``seq`` is a
+monotone counter so ties break by insertion order.  Nothing in the engine
+consults wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout, PRIORITY_NORMAL
+from repro.sim.process import Process, ProcessFailed
+
+
+class EmptySchedule(Exception):
+    """run() exhausted all events before reaching the requested time."""
+
+
+class Engine:
+    """Owns simulated time and the pending-event heap."""
+
+    def __init__(self, trace: bool = False) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._crashed: Optional[ProcessFailed] = None
+        self.trace_enabled = trace
+        self.trace_log: List[Tuple[float, str]] = []
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Spawn ``gen`` as a process starting at the current time."""
+        return Process(self, gen, name=name)
+
+    # -- scheduling internals ---------------------------------------------------
+    def _schedule_event(self, ev: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, ev))
+
+    def _crash(self, process: Process, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = ProcessFailed(process, exc)
+
+    def trace(self, msg: str) -> None:
+        """Record a trace line at the current simulated time (if enabled)."""
+        if self.trace_enabled:
+            self.trace_log.append((self._now, msg))
+
+    # -- main loop ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        time, _prio, _seq, ev = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - defensive
+            raise RuntimeError("time went backwards")
+        self._now = time
+        ev._run_callbacks()
+        if self._crashed is not None:
+            crashed, self._crashed = self._crashed, None
+            raise crashed
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` (an Event, a time, or None for exhaustion).
+
+        Returns the event's value when ``until`` is an Event.  Raises
+        :class:`~repro.sim.process.ProcessFailed` if an unwaited process
+        crashed, or the original exception if ``until`` itself failed.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            done = []
+            until.add_callback(done.append)
+            while not done:
+                if not self._heap:
+                    raise EmptySchedule(
+                        f"no more events at t={self._now}; target event never fired"
+                    )
+                self.step()
+            if until.ok:
+                return until.value
+            exc = until.value
+            raise exc if isinstance(exc, BaseException) else RuntimeError(repr(exc))
+
+        # numeric horizon
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run to the past: {horizon} < {self._now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now:.9f} pending={len(self._heap)}>"

@@ -1,0 +1,129 @@
+"""Generator-coroutine processes.
+
+A process wraps a generator. Each ``yield`` hands the engine something to
+wait for (an :class:`~repro.sim.events.Event`, another :class:`Process`, a
+bare number meaning a timeout, or ``None`` meaning "resume immediately but
+after already-scheduled same-time events").  The value of the awaited event
+is sent back into the generator; failures are thrown into it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Timeout, PRIORITY_NORMAL, PRIORITY_URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessFailed(Exception):
+    """Raised by Engine.run when an unhandled exception escaped a process."""
+
+    def __init__(self, process: "Process", exc: BaseException) -> None:
+        super().__init__(f"{process!r} failed: {exc!r}")
+        self.process = process
+        self.exc = exc
+
+
+class Process(Event):
+    """A running coroutine; is itself an Event that fires on termination.
+
+    The event value is the generator's return value (``StopIteration``
+    payload); if the generator raises, the process event *fails* with that
+    exception, which then propagates to any process waiting on it.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_started")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: Optional[str] = None) -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(engine)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None  # event we are currently waiting on
+        self._started = False
+        # Kick off at current time, urgent so spawn order is preserved.
+        boot = Event(engine)
+        boot.add_callback(self._resume)
+        boot.succeed(None, priority=PRIORITY_URGENT)
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        if self._target is not None:
+            # Detach from whatever we were waiting on.
+            target, self._target = self._target, None
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        wake = Event(self.engine)
+        wake.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        wake.succeed(None, priority=PRIORITY_URGENT)
+
+    # -- engine internals -------------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        self._target = None
+        if ev.ok:
+            self._step(send=ev.value)
+        else:
+            self._step(throw=ev.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        self.engine._active_process = self
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                # Nobody is waiting on this process: surface the crash.
+                self.engine._crash(self, exc)
+            return
+        finally:
+            self.engine._active_process = None
+        self._wait_on(self._coerce(target))
+
+    def _coerce(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            return target
+        if target is None:
+            return Timeout(self.engine, 0.0)
+        if isinstance(target, (int, float)):
+            return Timeout(self.engine, float(target))
+        raise TypeError(f"process {self.name!r} yielded unsupported {target!r}")
+
+    def _wait_on(self, target: Event) -> None:
+        if target is self:
+            raise RuntimeError(f"process {self.name!r} awaits itself")
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

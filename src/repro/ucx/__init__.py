@@ -1,0 +1,35 @@
+"""UCX-like communication substrate (UCP layer).
+
+Implements the subset of UCP the paper's design builds on (Section II-C,
+IV-A):
+
+* :class:`UcpContext` / :class:`UcpWorker` — communication contexts with a
+  progress engine and addressable workers;
+* :class:`UcpEndpoint` — addresses a remote worker; carries RMA puts and
+  active messages;
+* ``mem_map`` / ``rkey_pack`` / ``rkey_unpack`` — memory registration and
+  remote keys;
+* ``rkey_ptr`` — the cuda_ipc-transport mapped pointer the paper exposes to
+  GPUs for the Kernel-Copy path (their UCX modification of
+  ``uct_cuda_ipc_rkey_ptr``);
+* ``put_nbx`` — RMA put with a completion callback, the primitive under
+  ``MPI_Pready``.
+
+Unlike real UCX, transfers progress autonomously in the simulation; the
+latency a real polling progress loop adds is charged via the
+``progress_poll_latency`` parameter where the design depends on it.
+"""
+
+from repro.ucx.context import UcpContext, UcpWorker, WorkerAddress
+from repro.ucx.endpoint import UcpEndpoint
+from repro.ucx.memreg import MemHandle, RemoteKey, UcxMemError
+
+__all__ = [
+    "MemHandle",
+    "RemoteKey",
+    "UcpContext",
+    "UcpEndpoint",
+    "UcpWorker",
+    "UcxMemError",
+    "WorkerAddress",
+]

@@ -1,0 +1,53 @@
+"""Unit helpers.
+
+Simulated time is a float in seconds; data sizes are ints in bytes.  All
+hardware constants in :mod:`repro.hw.params` and :mod:`repro.cuda.timing`
+are written with these helpers so that e.g. ``7.8 * us`` reads like the
+paper's "7.8 µs".
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+s = 1.0
+ms = 1e-3
+us = 1e-6
+ns = 1e-9
+
+# --- data size ----------------------------------------------------------------
+B = 1
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+# --- bandwidth (bytes / second) ----------------------------------------------
+KiBps = KiB / s
+MiBps = MiB / s
+GiBps = GiB / s
+GBps = 1e9 / s  # decimal GB/s, matches vendor link specs ("900GB/s")
+Gbps = 1e9 / 8 / s  # decimal Gbit/s ("400Gbit")
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable simulated duration, e.g. '7.80us'."""
+    if t == 0:
+        return "0s"
+    a = abs(t)
+    if a >= 1.0:
+        return f"{t:.3f}s"
+    if a >= 1e-3:
+        return f"{t / ms:.2f}ms"
+    if a >= 1e-6:
+        return f"{t / us:.2f}us"
+    return f"{t / ns:.1f}ns"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count, e.g. '8.0KiB'."""
+    if abs(n) >= GiB:
+        return f"{n / GiB:.2f}GiB"
+    if abs(n) >= MiB:
+        return f"{n / MiB:.2f}MiB"
+    if abs(n) >= KiB:
+        return f"{n / KiB:.1f}KiB"
+    return f"{int(n)}B"

@@ -1,0 +1,113 @@
+"""Buffer semantics: spaces, views, partitions, copies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import Buffer, MemSpace
+
+
+def test_alloc_defaults():
+    b = Buffer.alloc(16)
+    assert len(b) == 16
+    assert b.space is MemSpace.HOST
+    assert np.all(b.data == 0)
+
+
+def test_alloc_fill():
+    b = Buffer.alloc(4, fill=2.5)
+    assert np.all(b.data == 2.5)
+
+
+def test_device_buffer_needs_gpu():
+    with pytest.raises(ValueError):
+        Buffer.alloc(4, space=MemSpace.DEVICE)
+
+
+def test_requires_1d():
+    with pytest.raises(ValueError):
+        Buffer(np.zeros((2, 2)), MemSpace.HOST, node=0)
+
+
+def test_space_accessibility_matrix():
+    assert MemSpace.HOST.host_accessible and not MemSpace.HOST.device_accessible
+    assert MemSpace.PINNED.host_accessible and MemSpace.PINNED.device_accessible
+    assert MemSpace.DEVICE.device_accessible and not MemSpace.DEVICE.host_accessible
+    assert MemSpace.UNIFIED.host_accessible and MemSpace.UNIFIED.device_accessible
+
+
+def test_view_shares_memory():
+    b = Buffer.alloc(10)
+    v = b.view(2, 4)
+    v.data[:] = 9.0
+    assert np.all(b.data[2:6] == 9.0)
+    assert b.same_allocation(v)
+
+
+def test_view_bounds_checked():
+    b = Buffer.alloc(10)
+    with pytest.raises(IndexError):
+        b.view(8, 4)
+    with pytest.raises(IndexError):
+        b.view(-1, 2)
+
+
+def test_view_keeps_location():
+    b = Buffer.alloc(8, space=MemSpace.DEVICE, node=1, gpu=5)
+    v = b.view(0, 4)
+    assert v.location() == (MemSpace.DEVICE, 1, 5)
+
+
+def test_partition_geometry():
+    b = Buffer.alloc(12)
+    for i in range(4):
+        p = b.partition(i, 4)
+        assert len(p) == 3
+        p.data[:] = float(i)
+    assert list(b.data) == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+
+def test_partition_uneven_rejected():
+    with pytest.raises(ValueError):
+        Buffer.alloc(10).partition(0, 3)
+
+
+def test_partition_bad_count():
+    with pytest.raises(ValueError):
+        Buffer.alloc(10).partition(0, 0)
+
+
+def test_copy_from():
+    src = Buffer.alloc(5, fill=3.0)
+    dst = Buffer.alloc(5)
+    dst.copy_from(src)
+    assert np.all(dst.data == 3.0)
+    src.data[0] = 99  # copies are deep
+    assert dst.data[0] == 3.0
+
+
+def test_copy_size_mismatch():
+    with pytest.raises(ValueError):
+        Buffer.alloc(5).copy_from(Buffer.alloc(4))
+
+
+def test_nbytes_and_itemsize():
+    b = Buffer.alloc(8, dtype=np.float32)
+    assert b.itemsize == 4
+    assert b.nbytes == 32
+
+
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    parts=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_partitions_tile_the_buffer(n, parts):
+    """Equal partitions exactly tile the buffer with no overlap."""
+    total = n * parts
+    b = Buffer.alloc(total)
+    for i in range(parts):
+        b.partition(i, parts).data[:] = i
+    expected = np.repeat(np.arange(parts, dtype=float), n)
+    assert np.array_equal(b.data, expected)

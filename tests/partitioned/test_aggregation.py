@@ -1,0 +1,95 @@
+"""AggregationSpec: user/transport partition mappings and signal counts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.errors import MpiUsageError
+from repro.partitioned.aggregation import AggregationSpec, SignalMode
+
+
+def test_basic_shape():
+    a = AggregationSpec(grid=8, block_threads=1024, blocks_per_partition=2)
+    assert a.n_transport == 4
+    assert a.n_user == 8 * 1024
+    assert a.threads_per_partition == 2048
+    assert a.warps_per_block == 32
+
+
+def test_tp_of_block():
+    a = AggregationSpec(grid=6, block_threads=64, blocks_per_partition=3)
+    assert [a.tp_of_block(b) for b in range(6)] == [0, 0, 0, 1, 1, 1]
+    with pytest.raises(MpiUsageError):
+        a.tp_of_block(6)
+
+
+def test_tp_of_user():
+    a = AggregationSpec(grid=2, block_threads=4, blocks_per_partition=1)
+    assert a.tp_of_user(0) == 0
+    assert a.tp_of_user(3) == 0
+    assert a.tp_of_user(4) == 1
+    with pytest.raises(MpiUsageError):
+        a.tp_of_user(8)
+
+
+def test_indivisible_grid_rejected():
+    with pytest.raises(MpiUsageError):
+        AggregationSpec(grid=5, block_threads=64, blocks_per_partition=2)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(MpiUsageError):
+        AggregationSpec(grid=0, block_threads=64)
+    with pytest.raises(MpiUsageError):
+        AggregationSpec(grid=1, block_threads=64, blocks_per_partition=0)
+
+
+def test_host_writes_per_block():
+    assert AggregationSpec(1, 1024, 1, SignalMode.THREAD).host_writes_per_block() == 1024
+    assert AggregationSpec(1, 1024, 1, SignalMode.WARP).host_writes_per_block() == 32
+    assert AggregationSpec(1, 1024, 1, SignalMode.BLOCK).host_writes_per_block() == 1
+    # Partial warps round up.
+    assert AggregationSpec(1, 33, 1, SignalMode.WARP).host_writes_per_block() == 2
+
+
+def test_expected_host_signals_block_mode_always_one():
+    """Block mode aggregates across blocks via gmem counters."""
+    for bpp in (1, 2, 8):
+        a = AggregationSpec(grid=8, block_threads=256, blocks_per_partition=bpp,
+                            signal_mode=SignalMode.BLOCK)
+        assert a.expected_host_signals() == 1
+
+
+def test_expected_host_signals_thread_and_warp():
+    a = AggregationSpec(grid=4, block_threads=64, blocks_per_partition=2,
+                        signal_mode=SignalMode.THREAD)
+    assert a.expected_host_signals() == 2 * 64
+    w = AggregationSpec(grid=4, block_threads=64, blocks_per_partition=2,
+                        signal_mode=SignalMode.WARP)
+    assert w.expected_host_signals() == 2 * 2
+
+
+def test_gmem_threshold():
+    a = AggregationSpec(grid=8, block_threads=64, blocks_per_partition=4)
+    assert a.gmem_threshold() == 4
+
+
+@given(
+    grid_factor=st.integers(1, 16),
+    bpp=st.integers(1, 16),
+    block=st.integers(1, 1024),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_block_mapping_is_a_partition(grid_factor, bpp, block):
+    """Every block maps to exactly one transport partition; partitions
+    tile the grid in contiguous, equal runs."""
+    grid = grid_factor * bpp
+    a = AggregationSpec(grid, block, bpp)
+    tps = [a.tp_of_block(b) for b in range(grid)]
+    assert tps == sorted(tps)
+    for tp in range(a.n_transport):
+        assert tps.count(tp) == bpp
+    # user mapping consistent with block mapping
+    for u in range(0, a.n_user, max(1, a.n_user // 50)):
+        b = u // block
+        assert a.tp_of_user(u) == a.tp_of_block(b)

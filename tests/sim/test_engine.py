@@ -1,0 +1,142 @@
+"""Engine fundamentals: time, ordering, run modes, determinism."""
+
+import pytest
+
+from repro.sim.engine import EmptySchedule, Engine
+from repro.sim.events import Event, Timeout
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_time(engine):
+    done = []
+
+    def proc():
+        yield engine.timeout(1.5)
+        done.append(engine.now)
+
+    engine.run(engine.process(proc()))
+    assert done == [1.5]
+
+
+def test_zero_timeout_runs_same_time(engine):
+    def proc():
+        yield engine.timeout(0.0)
+        return engine.now
+
+    assert engine.run(engine.process(proc())) == 0.0
+
+
+def test_negative_timeout_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.timeout(-1.0)
+
+
+def test_run_until_time(engine):
+    ticks = []
+
+    def proc():
+        while True:
+            yield engine.timeout(1.0)
+            ticks.append(engine.now)
+
+    engine.process(proc())
+    engine.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert engine.now == 3.5
+
+
+def test_run_to_past_rejected(engine):
+    engine.run(until=5.0)
+    with pytest.raises(ValueError):
+        engine.run(until=1.0)
+
+
+def test_run_until_event_returns_value(engine):
+    ev = engine.event()
+
+    def setter():
+        yield engine.timeout(2.0)
+        ev.succeed("payload")
+
+    engine.process(setter())
+    assert engine.run(ev) == "payload"
+    assert engine.now == 2.0
+
+
+def test_run_until_unreachable_event_raises(engine):
+    ev = engine.event()
+    with pytest.raises(EmptySchedule):
+        engine.run(ev)
+
+
+def test_run_exhausts_all_events(engine):
+    seen = []
+
+    def proc(delay):
+        yield engine.timeout(delay)
+        seen.append(delay)
+
+    for d in (3.0, 1.0, 2.0):
+        engine.process(proc(d))
+    engine.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_same_time_fifo_order(engine):
+    """Events scheduled for the same instant fire in insertion order."""
+    order = []
+
+    def proc(tag):
+        yield engine.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        engine.process(proc(tag))
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_peek(engine):
+    assert engine.peek() == float("inf")
+    engine.timeout(4.0)
+    assert engine.peek() == 4.0
+
+
+def test_determinism_two_identical_runs():
+    """Identical programs produce identical event traces."""
+
+    def build():
+        eng = Engine()
+        log = []
+
+        def worker(k):
+            for i in range(3):
+                yield eng.timeout(0.5 * (k + 1))
+                log.append((eng.now, k, i))
+
+        for k in range(4):
+            eng.process(worker(k))
+        eng.run()
+        return log
+
+    assert build() == build()
+
+
+def test_trace_log():
+    eng = Engine(trace=True)
+
+    def proc():
+        eng.trace("begin")
+        yield eng.timeout(1.0)
+        eng.trace("end")
+
+    eng.run(eng.process(proc()))
+    assert eng.trace_log == [(0.0, "begin"), (1.0, "end")]
+
+
+def test_trace_disabled_by_default(engine):
+    engine.trace("ignored")
+    assert engine.trace_log == []
