@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: tests + repo-invariant lint + (when available) ruff.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== repo-invariant lint (scripts/lint_repro.py) =="
+python scripts/lint_repro.py src/repro
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src scripts tests examples
+else
+    echo "== ruff not installed; skipping (config lives in pyproject.toml) =="
+fi
+
+echo "CI OK"

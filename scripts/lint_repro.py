@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Repo-invariant AST lint (wallclock, raw-units, dropped-return).
+
+Thin wrapper over :mod:`repro.san.lint` so it runs without installing the
+package: ``python scripts/lint_repro.py [paths...]``.  Exits non-zero on
+any finding; ``--list`` shows the checks.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.san.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

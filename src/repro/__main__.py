@@ -4,6 +4,8 @@
     python -m repro fig4                 # regenerate one exhibit
     python -m repro fig4 --grids 1,256   # custom sweep
     python -m repro all [--fast]         # everything -> RESULTS.md
+    python -m repro san <script>         # sanitize a run (see repro.san)
+    python -m repro san --list-checks
 """
 
 from __future__ import annotations
@@ -15,6 +17,11 @@ from repro.bench import figures, render
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "san":
+        from repro.san.cli import main as san_main
+
+        return san_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.cuda.timing import WorkSpec
 from repro.hw.memory import Buffer, MemSpace
+from repro.san import record
 from repro.sim.events import Event
 from repro.sim.resources import Counter, Flag
 
@@ -42,11 +43,15 @@ def _fire(signal: HostSignal, amount: int = 1) -> None:
         signal()
 
 
-def host_flag_write_proc(device: "Device", n_writes: int, signal: HostSignal, amount: int = 1):
+def host_flag_write_proc(
+    device: "Device", n_writes: int, signal: HostSignal, amount: int = 1, actor=None
+):
     """Process: ``n_writes`` serialized device->host flag stores, then fire.
 
     The C2C down-link port serializes the stores (against other blocks'
     stores too); the fixed base covers the fence + host visibility delay.
+    ``actor``, when given, release-publishes everything it did so far to
+    whoever observes ``signal`` (the progression engine's watcher).
     """
     if n_writes < 1:
         raise ValueError("n_writes must be >= 1")
@@ -58,18 +63,27 @@ def host_flag_write_proc(device: "Device", n_writes: int, signal: HostSignal, am
     link.bytes_carried += 8 * n_writes
     link.port.release()
     yield device.engine.timeout(hw.flag_write_base)
+    if actor is not None:
+        record.release(actor, ("sig", id(signal)))
     _fire(signal, amount)
     return n_writes
 
 
-def _fenced_copy(device: "Device", src: Buffer, dst: Buffer, name: str) -> Event:
+def _fenced_copy(device: "Device", src: Buffer, dst: Buffer, name: str, actor=None) -> Event:
     """Intra-kernel store sequence: wire transfer + system fence."""
 
     def proc():
+        record.access(actor, src, write=False, note=name)
+        record.access(actor, dst, write=True, note=name)
         yield device.fabric.transfer(src, dst, name=name)
         yield device.engine.timeout(device.fabric.config.params.kc_fence_overhead)
 
-    return device.engine.process(proc(), name=name)
+    ev = device.engine.process(proc(), name=name)
+    if actor is not None:
+        # Release at fence-visible time, keyed by the completion event, so
+        # a waiter (e.g. the PE holding this kernel-copy event) acquires it.
+        ev.add_callback(lambda _ev: record.release(actor, ("copydone", id(ev))))
+    return ev
 
 
 class BlockCtx:
@@ -92,6 +106,11 @@ class BlockCtx:
     def now(self) -> float:
         return self.device.engine.now
 
+    @property
+    def actor(self) -> tuple:
+        """Sanitizer trace identity of this block."""
+        return self.kernel.block_actor(self.device, self.block_id)
+
     def _spawn(self, gen, name: str) -> Event:
         return self.device.engine.process(gen, name=name)
 
@@ -103,13 +122,23 @@ class BlockCtx:
 
     def syncthreads(self) -> Event:
         """``__syncthreads()`` — intra-block barrier cost."""
+        record.mark("syncthreads", actor=self.actor)
         return self.engine.timeout(self.device.cost.syncthreads_cost)
+
+    # -- sanitizer annotations ----------------------------------------------------
+    def note_read(self, buf: Buffer) -> None:
+        """Annotate that this block's threads read ``buf`` (zero sim cost)."""
+        record.access(self.actor, buf, write=False, note="note_read")
+
+    def note_write(self, buf: Buffer) -> None:
+        """Annotate that this block's threads wrote ``buf`` (zero sim cost)."""
+        record.access(self.actor, buf, write=True, note="note_write")
 
     # -- host signalling (MPIX_Pready progression-engine path) ---------------------
     def write_host_flags(self, n_writes: int, signal: HostSignal, amount: int = 1) -> Event:
         """``n_writes`` serialized stores into pinned host memory, then fire."""
         return self._spawn(
-            host_flag_write_proc(self.device, n_writes, signal, amount),
+            host_flag_write_proc(self.device, n_writes, signal, amount, actor=self.actor),
             name=f"hflag[{self.kernel.name}:{self.block_id}]",
         )
 
@@ -121,6 +150,10 @@ class BlockCtx:
         """Atomic add in this GPU's global memory; event value = new count."""
         def proc():
             yield self.engine.timeout(self.device.fabric.config.params.gmem_atomic)
+            # An atomic RMW is both an acquire and a release on the counter:
+            # every pair of atomics on it is happens-before ordered.
+            record.acquire(self.actor, ("ctr", id(counter)))
+            record.release(self.actor, ("ctr", id(counter)))
             return counter.add(amount)
 
         return self._spawn(proc(), name=f"atomic[{self.kernel.name}:{self.block_id}]")
@@ -136,12 +169,18 @@ class BlockCtx:
         """
         if not src.space.device_accessible or not dst.space.device_accessible:
             raise ValueError("kernel copy requires device-accessible buffers")
-        return _fenced_copy(self.device, src, dst, f"kcopy[{self.kernel.name}:{self.block_id}]")
+        return _fenced_copy(
+            self.device, src, dst, f"kcopy[{self.kernel.name}:{self.block_id}]",
+            actor=self.actor,
+        )
 
     # -- polling ------------------------------------------------------------------
     def wait_flag(self, flag: Flag) -> Event:
         """Spin on a flag in device-visible memory (MPIX_Parrived device path)."""
-        return flag.wait()
+        ev = flag.wait()
+        actor = self.actor
+        ev.add_callback(lambda _ev: record.acquire(actor, ("sig", id(flag))))
+        return ev
 
 
 class KernelCtx:
@@ -161,10 +200,23 @@ class KernelCtx:
     def now(self) -> float:
         return self.device.engine.now
 
+    @property
+    def actor(self) -> tuple:
+        """Sanitizer trace identity of this kernel's wave context."""
+        return self.kernel.actor(self.device)
+
+    def note_read(self, buf: Buffer) -> None:
+        """Annotate an aggregate read by this kernel's blocks (zero cost)."""
+        record.access(self.actor, buf, write=False, note="note_read")
+
+    def note_write(self, buf: Buffer) -> None:
+        """Annotate an aggregate write by this kernel's blocks (zero cost)."""
+        record.access(self.actor, buf, write=True, note="note_write")
+
     def bulk_host_flag_writes(self, n_writes: int, signal: HostSignal, amount: int = 1) -> Event:
         """Aggregate of ``n_writes`` serialized flag stores starting now."""
         return self.device.engine.process(
-            host_flag_write_proc(self.device, n_writes, signal, amount),
+            host_flag_write_proc(self.device, n_writes, signal, amount, actor=self.actor),
             name=f"hflag[{self.kernel.name}]",
         )
 
@@ -172,6 +224,8 @@ class KernelCtx:
         """Aggregate global-memory atomics: ``amount`` increments at once."""
         def proc():
             yield self.engine.timeout(self.device.fabric.config.params.gmem_atomic)
+            record.acquire(self.actor, ("ctr", id(counter)))
+            record.release(self.actor, ("ctr", id(counter)))
             return counter.add(amount)
 
         return self.device.engine.process(proc(), name=f"atomic[{self.kernel.name}]")
@@ -180,4 +234,6 @@ class KernelCtx:
         """Intra-kernel bulk copy (Kernel-Copy transport partition)."""
         if not src.space.device_accessible or not dst.space.device_accessible:
             raise ValueError("kernel copy requires device-accessible buffers")
-        return _fenced_copy(self.device, src, dst, f"kcopy[{self.kernel.name}]")
+        return _fenced_copy(
+            self.device, src, dst, f"kcopy[{self.kernel.name}]", actor=self.actor
+        )

@@ -18,6 +18,7 @@ from repro.cuda.kernel import BlockKernel, KernelBase, UniformKernel, Wave
 from repro.cuda.timing import CostModel
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.topology import Fabric
+from repro.san import record
 from repro.sim.events import AllOf, Event
 from repro.sim.resources import Resource
 
@@ -73,7 +74,7 @@ class Device:
         """
         kernel.validate(self.cost)
         stream = stream or self.default_stream
-        return stream.enqueue(lambda: self._exec_kernel(kernel), label=kernel.name)
+        return stream.enqueue(lambda: self._exec_kernel(kernel, stream), label=kernel.name)
 
     def launch_h(self, kernel: KernelBase, stream=None) -> Generator:
         """Host helper: charge launch API cost, then enqueue (returns event)."""
@@ -84,6 +85,7 @@ class Device:
         """``cudaStreamSynchronize``: block until drained + fixed API cost."""
         stream = stream or self.default_stream
         yield stream.drained()
+        record.acquire(("host", self.gpu_id), ("drain", stream.name))
         yield self.engine.timeout(self.cost.stream_sync_cost)
 
     def device_sync_h(self) -> Generator:
@@ -107,21 +109,26 @@ class Device:
         yield done
 
     # -- kernel execution internals ---------------------------------------------------
-    def _exec_kernel(self, kernel: KernelBase) -> Generator:
+    def _exec_kernel(self, kernel: KernelBase, stream=None) -> Generator:
+        launcher = stream.actor if stream is not None else ("host", self.gpu_id)
         yield self.engine.timeout(self.cost.launch_latency)
+        record.release(launcher, ("kstart", id(kernel)))
         if kernel.apply is not None:
             # Materialize the kernel's numerical result now (see kernel.py
             # docstring for the visibility argument).
             kernel.apply()
+            record.mark("apply", actor=launcher, gpu=self.gpu_id, kernel=kernel.name)
         if isinstance(kernel, UniformKernel):
             yield from self._exec_uniform(kernel)
         elif isinstance(kernel, BlockKernel):
             yield from self._exec_blocks(kernel)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown kernel flavour: {type(kernel).__name__}")
+        record.acquire(launcher, ("kdone", id(kernel)))
 
     def _exec_uniform(self, kernel: UniformKernel) -> Generator:
         kctx = KernelCtx(self, kernel)
+        record.acquire(kctx.actor, ("kstart", id(kernel)))
         plan = self.cost.wave_plan(kernel.grid, kernel.block, kernel.work)
         for index, (blocks, dt) in enumerate(plan):
             start = self.engine.now
@@ -131,6 +138,7 @@ class Device:
                     kctx,
                     Wave(index=index, blocks=blocks, start_time=start, end_time=self.engine.now),
                 )
+        record.release(kctx.actor, ("kdone", id(kernel)))
 
     def _exec_blocks(self, kernel: BlockKernel) -> Generator:
         resident = self.cost.resident_blocks(kernel.block)
@@ -140,9 +148,11 @@ class Device:
             yield slots.acquire()
             try:
                 blk = BlockCtx(self, kernel, block_id)
+                record.acquire(blk.actor, ("kstart", id(kernel)))
                 yield self.engine.process(
                     kernel.body(blk), name=f"{kernel.name}.b{block_id}"
                 )
+                record.release(blk.actor, ("kdone", id(kernel)))
             finally:
                 slots.release()
 

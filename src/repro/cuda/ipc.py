@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.topology import Topology
+from repro.san import record
 
 
 class IpcError(Exception):
@@ -31,9 +32,9 @@ class IpcMemHandle:
 
     def __post_init__(self) -> None:
         if self.buffer.space is not MemSpace.DEVICE:
-            raise IpcError(
-                f"cudaIpcGetMemHandle requires device memory, got {self.buffer.space}"
-            )
+            msg = f"cudaIpcGetMemHandle requires device memory, got {self.buffer.space}"
+            record.guard("ipc-misuse", None, msg)
+            raise IpcError(msg)
 
     @property
     def owner_gpu(self) -> int:
@@ -48,8 +49,10 @@ class IpcMemHandle:
         NVLink hop between opener and owner on every access.
         """
         if not topo.same_node(opener_gpu, self.owner_gpu):
-            raise IpcError(
+            msg = (
                 f"gpu {opener_gpu} cannot IPC-open memory of gpu {self.owner_gpu}: "
                 "different nodes (no NVLink/PCIe path)"
             )
+            record.guard("ipc-misuse", ("host", opener_gpu), msg)
+            raise IpcError(msg)
         return self.buffer.view(0, len(self.buffer.data), label=f"ipc:{self.buffer.label}")

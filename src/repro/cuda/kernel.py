@@ -68,6 +68,15 @@ class KernelBase:
     def n_threads(self) -> int:
         return self.grid * self.block
 
+    # -- sanitizer identity ------------------------------------------------
+    def actor(self, device) -> tuple:
+        """Trace identity of this kernel's aggregate (wave) context."""
+        return ("kernel", device.name, self.name)
+
+    def block_actor(self, device, block_id: int) -> tuple:
+        """Trace identity of one block of this kernel on ``device``."""
+        return ("block", device.name, self.name, block_id)
+
     def validate(self, cost: CostModel) -> None:
         if self.block > cost.max_block_threads:
             raise ValueError(

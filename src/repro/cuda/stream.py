@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.san import record
 from repro.sim.events import Event
 from repro.sim.resources import Channel
 
@@ -41,10 +42,17 @@ class Stream:
         self._drain_waiters: list[Event] = []
         self._worker = self.engine.process(self._run(), name=f"{name}.worker")
 
+    @property
+    def actor(self) -> tuple:
+        """Sanitizer trace identity of this stream's worker."""
+        return ("stream", self.name)
+
     # -- enqueue -----------------------------------------------------------------
     def enqueue(self, run: Callable[[], "object"], label: str) -> Event:
         """Queue a generator-factory op; returns its completion event."""
         done = Event(self.engine)
+        # The enqueuer publishes its history to the worker (FIFO edge).
+        record.release(("host", self.device.gpu_id), ("enq", id(done)))
         self._outstanding += 1
         self._ops.put(StreamOp(run, done, label))
         return done
@@ -65,7 +73,10 @@ class Stream:
         return ev
 
     def _notify_drained(self) -> None:
-        if self.idle and self._drain_waiters:
+        if not self.idle:
+            return
+        record.release(self.actor, ("drain", self.name))
+        if self._drain_waiters:
             waiters, self._drain_waiters = self._drain_waiters, []
             for ev in waiters:
                 ev.succeed(None)
@@ -74,6 +85,7 @@ class Stream:
     def _run(self):
         while True:
             op: StreamOp = yield self._ops.get()
+            record.acquire(self.actor, ("enq", id(op.done)))
             try:
                 result = yield self.engine.process(op.run(), name=f"{self.name}.{op.label}")
             except Exception as exc:  # noqa: BLE001 - fail just this op's waiters
@@ -85,5 +97,6 @@ class Stream:
                 self._notify_drained()
                 continue
             self._outstanding -= 1
+            record.release(self.actor, ("opdone", id(op.done)))
             op.done.succeed(result)
             self._notify_drained()

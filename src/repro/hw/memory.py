@@ -17,6 +17,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.san import record
+
 
 class MemSpace(enum.Enum):
     """Where a buffer physically lives."""
@@ -85,7 +87,12 @@ class Buffer:
         label: str = "",
     ) -> "Buffer":
         data = np.zeros(n, dtype=dtype) if fill is None else np.full(n, fill, dtype=dtype)
-        return cls(data, space, node, gpu, label)
+        buf = cls(data, space, node, gpu, label)
+        record.note_alloc(buf, zero_filled=fill is None)
+        if fill is not None:
+            # An explicit fill is host initialization, not cudaMalloc garbage.
+            record.access(None, buf, write=True, note="alloc-fill")
+        return buf
 
     @classmethod
     def alloc_virtual(
@@ -106,7 +113,9 @@ class Buffer:
         registering of existing application memory without duplicating it.
         """
         data = np.broadcast_to(np.zeros(1, dtype=dtype), (n,))
-        return cls(data, space, node, gpu, label)
+        buf = cls(data, space, node, gpu, label)
+        record.note_alloc(buf, zero_filled=True)
+        return buf
 
     # -- geometry ---------------------------------------------------------------
     @property
@@ -157,6 +166,8 @@ class Buffer:
             raise ValueError(
                 f"size mismatch: src {len(src.data)} vs dst {len(self.data)}"
             )
+        record.access(None, src, write=False, note="copy_from")
+        record.access(None, self, write=True, note="copy_from")
         np.copyto(self.data, src.data)
 
     def same_allocation(self, other: "Buffer") -> bool:

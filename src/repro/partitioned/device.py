@@ -35,20 +35,25 @@ from repro.cuda.kernel import Wave
 from repro.mpi.errors import MpiStateError, MpiUsageError
 from repro.partitioned.aggregation import SignalMode
 from repro.partitioned.prequest import CopyMode, Prequest
+from repro.san import record
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.partitioned.p2p import PrecvRequest
 
 
-def _check_device_call(blk_device, preq: Prequest) -> None:
+def _check_device_call(blk_device, preq: Prequest, actor=None) -> None:
     if preq.freed:
-        raise MpiStateError("device MPIX_Pready on a freed MPIX_Prequest")
+        msg = "device MPIX_Pready on a freed MPIX_Prequest"
+        record.guard("pready-freed", actor, msg)
+        raise MpiStateError(msg)
     if not preq.sreq.active:
-        raise MpiStateError("device MPIX_Pready outside an active epoch")
+        msg = "device MPIX_Pready outside an active epoch"
+        record.guard("pready-inactive", actor, msg)
+        raise MpiStateError(msg)
     if blk_device is not preq.device:
-        raise MpiUsageError(
-            "MPIX_Prequest was created for a different device than the kernel runs on"
-        )
+        msg = "MPIX_Prequest was created for a different device than the kernel runs on"
+        record.guard("pready-wrong-device", actor, msg)
+        raise MpiUsageError(msg)
 
 
 # --------------------------------------------------------------------------
@@ -77,11 +82,24 @@ def _signal_then_maybe_copy(blk: BlockCtx, preq: Prequest, host_writes: int):
             yield blk.write_host_flags(host_writes, preq.host_signals[tp], amount=host_writes)
 
 
+def _mark_block_pready(blk: BlockCtx, preq: Prequest) -> None:
+    record.mark(
+        "pready",
+        actor=blk.actor,
+        preq=record.ident(preq),
+        epoch=preq.sreq.epoch,
+        block=blk.block_id,
+        tp=preq.agg.tp_of_block(blk.block_id),
+        mode=preq.agg.signal_mode.value,
+    )
+
+
 def pready_thread(blk: BlockCtx, preq: Prequest):
     """MPIX_Pready_thread: each of the block's threads signals the host."""
-    _check_device_call(blk.device, preq)
+    _check_device_call(blk.device, preq, actor=blk.actor)
     if preq.agg.signal_mode is not SignalMode.THREAD:
         raise MpiUsageError("prequest was not created with SignalMode.THREAD")
+    _mark_block_pready(blk, preq)
 
     def proc() -> Generator:
         yield from _signal_then_maybe_copy(blk, preq, blk.block_threads)
@@ -91,9 +109,10 @@ def pready_thread(blk: BlockCtx, preq: Prequest):
 
 def pready_warp(blk: BlockCtx, preq: Prequest):
     """MPIX_Pready_warp: warps __shfl_sync-reduce, lane 0 signals."""
-    _check_device_call(blk.device, preq)
+    _check_device_call(blk.device, preq, actor=blk.actor)
     if preq.agg.signal_mode is not SignalMode.WARP:
         raise MpiUsageError("prequest was not created with SignalMode.WARP")
+    _mark_block_pready(blk, preq)
 
     def proc() -> Generator:
         # Intra-warp shuffle reduction cost (cheap, on-SM).
@@ -105,9 +124,10 @@ def pready_warp(blk: BlockCtx, preq: Prequest):
 
 def pready_block(blk: BlockCtx, preq: Prequest):
     """MPIX_Pready_block: __syncthreads(), thread 0 signals once."""
-    _check_device_call(blk.device, preq)
+    _check_device_call(blk.device, preq, actor=blk.actor)
     if preq.agg.signal_mode is not SignalMode.BLOCK:
         raise MpiUsageError("prequest was not created with SignalMode.BLOCK")
+    _mark_block_pready(blk, preq)
 
     def proc() -> Generator:
         yield blk.syncthreads()
@@ -140,6 +160,15 @@ def parrived_device(blk: BlockCtx, rreq: "PrecvRequest", partition: int):
         if not flag.is_set:
             yield flag.wait()
         yield blk.engine.timeout(blk.device.fabric.config.params.host_to_dev_flag)
+        # Import the sender's published history, then record the read this
+        # call licenses (the partition's bytes are now safe to consume).
+        record.acquire(blk.actor, ("arr", rreq.key, partition))
+        record.access(
+            blk.actor,
+            rreq.buf.partition(partition, rreq.partitions),
+            write=False,
+            note="parrived",
+        )
         return True
 
     return blk.engine.process(proc(), name=f"parrived.b{blk.block_id}")
@@ -158,7 +187,7 @@ def pready_wave(kctx: KernelCtx, preq: Prequest, wave: Wave) -> None:
     and/or host signal, and thread/warp modes charge their full write
     storms (serialized on the C2C link).
     """
-    _check_device_call(kctx.device, preq)
+    _check_device_call(kctx.device, preq, actor=kctx.actor)
     agg = preq.agg
     # Group the wave's blocks by transport partition (contiguous ranges).
     first_tp = agg.tp_of_block(wave.blocks[0])
@@ -169,6 +198,15 @@ def pready_wave(kctx: KernelCtx, preq: Prequest, wave: Wave) -> None:
         n_blocks = hi - lo
         if n_blocks <= 0:
             continue
+        record.mark(
+            "pready",
+            actor=kctx.actor,
+            preq=record.ident(preq),
+            epoch=preq.sreq.epoch,
+            blocks=(lo, hi),
+            tp=tp,
+            mode=agg.signal_mode.value,
+        )
         counter = preq.gmem_counters[tp]
         before = counter.value
         kctx.bulk_atomic_adds(counter, n_blocks)

@@ -27,6 +27,7 @@ from repro.mpi.errors import MpiStateError, MpiUsageError
 from repro.mpi.progress import AM_PART_RTR, AM_PART_SETUP, AM_PART_SETUP_RESP
 from repro.mpi.requests import PersistentRequest
 from repro.partitioned.setup import SETUP_BYTES, ChannelKey, ReadyToReceive, SetupResp, SetupT
+from repro.san import record
 from repro.sim.events import Event
 from repro.sim.resources import Counter, Flag
 from repro.ucx.memreg import mem_map, rkey_pack, rkey_unpack
@@ -113,6 +114,12 @@ class PsendRequest(PersistentRequest):
         self.pready_called = [False] * self.partitions
         self._puts_done.reset()
         self._puts_expected = 0
+        record.channel(
+            "channel-send", self.buf, req=record.ident(self),
+            partition_bytes=self.elems_per_partition * self.buf.itemsize,
+            partitions=self.partitions,
+        )
+        record.mark("epoch-start", side="send", req=record.ident(self), epoch=self.epoch)
         if self.preq is not None:
             self.preq.arm_epoch()
 
@@ -150,7 +157,11 @@ class PsendRequest(PersistentRequest):
         self.issue_pready(partition)
 
     def issue_pready(
-        self, partition: int, with_data: bool = True, src_override: Optional[Buffer] = None
+        self,
+        partition: int,
+        with_data: bool = True,
+        src_override: Optional[Buffer] = None,
+        actor=None,
     ) -> None:
         """Zero-time core (the progression engine charges its own costs).
 
@@ -159,12 +170,20 @@ class PsendRequest(PersistentRequest):
         receive-side completion flag needs raising.  ``src_override`` lets
         the partitioned-collective layer put a chunk of its working buffer
         through this wire partition (Section IV-B2's transport-partition
-        mapping) instead of the channel buffer's own slice.
+        mapping) instead of the channel buffer's own slice.  ``actor`` is
+        the sanitizer identity of the issuer (defaults to this rank's host
+        program; the progression engine passes its own).
         """
+        if actor is None:
+            actor = ("host", self.rt.world_rank)
         if not self.active:
-            raise MpiStateError("MPI_Pready outside an active epoch (missing MPI_Start?)")
+            msg = "MPI_Pready outside an active epoch (missing MPI_Start?)"
+            record.guard("pready-inactive", actor, msg)
+            raise MpiStateError(msg)
         if self.prepared_epoch != self.epoch:
-            raise MpiStateError("MPI_Pready before MPIX_Pbuf_prepare in this epoch")
+            msg = "MPI_Pready before MPIX_Pbuf_prepare in this epoch"
+            record.guard("pready-inactive", actor, msg)
+            raise MpiStateError(msg)
         if not 0 <= partition < self.partitions:
             raise MpiUsageError(
                 f"partition {partition} out of range 0..{self.partitions - 1}"
@@ -172,6 +191,13 @@ class PsendRequest(PersistentRequest):
         if self.pready_called[partition]:
             raise MpiStateError(f"MPI_Pready called twice for partition {partition}")
         self.pready_called[partition] = True
+        # Publish the issuer's history to whoever observes this partition's
+        # arrival, and open the in-flight window the overwrite check tracks.
+        record.mark(
+            "wire-pready", actor=actor, req=record.ident(self), partition=partition,
+            epoch=self.epoch,
+        )
+        record.release(actor, ("arr", self.key, partition))
 
         if with_data:
             self._puts_expected += 2
@@ -216,6 +242,12 @@ class PsendRequest(PersistentRequest):
             offset_elems=partition,
             callback=lambda: sink(partition),
         )
+        # The flag put is always the transport's last act for a partition,
+        # in both copy modes: closing the send-overwrite window here covers
+        # the progression-engine and kernel-copy paths alike.
+        flag_put.add_callback(
+            lambda _ev: record.mark("tp-complete", req=record.ident(self), partition=partition)
+        )
         flag_put.add_callback(lambda _ev: self._puts_done.add(1))
 
     # -- MPI_Wait ------------------------------------------------------------------
@@ -240,6 +272,7 @@ class PsendRequest(PersistentRequest):
                     f"MPI_Wait with {missing} partitions never marked ready"
                 )
         yield self._puts_done.wait_for(self._expected_total())
+        record.mark("epoch-complete", side="send", req=record.ident(self), epoch=self.epoch)
         self._complete({"epoch": self.epoch})
         return self.status
 
@@ -301,6 +334,12 @@ class PrecvRequest(PersistentRequest):
         for f in self.arrived_flags:
             f.clear()
         self.arrived_count.reset()
+        record.channel(
+            "channel-recv", self.buf, req=record.ident(self),
+            partition_bytes=self.elems_per_partition * self.buf.itemsize,
+            partitions=self.partitions,
+        )
+        record.mark("epoch-start", side="recv", req=record.ident(self), epoch=self.epoch)
 
     # -- MPIX_Pbuf_prepare ---------------------------------------------------------
     def pbuf_prepare(self) -> Generator:
@@ -351,6 +390,7 @@ class PrecvRequest(PersistentRequest):
     # -- arrival path -----------------------------------------------------------------
     def _mark_arrived(self, partition: int) -> None:
         """The chained flag put landed: partition data is in our buffer."""
+        record.mark("arrived", req=record.ident(self), partition=partition)
         self.flags_buf.data[partition] = 1
         self.arrived_flags[partition].set()
         self.arrived_count.add(1)
@@ -372,6 +412,10 @@ class PrecvRequest(PersistentRequest):
         yield self.arrived_count.wait_for(self.partitions)
         # The single progression thread notices the last flag by polling.
         yield self.engine.timeout(self.rt.params.progress_poll_latency)
+        host = ("host", self.rt.world_rank)
+        for p in range(self.partitions):
+            record.acquire(host, ("arr", self.key, p))
+        record.mark("epoch-complete", side="recv", req=record.ident(self), epoch=self.epoch)
         self._complete({"epoch": self.epoch})
         return self.status
 

@@ -21,6 +21,7 @@ from repro.hw.memory import Buffer, MemSpace
 from repro.mpi.errors import MpiStateError, MpiUsageError
 from repro.partitioned.aggregation import AggregationSpec, SignalMode
 from repro.partitioned.p2p import PUT_ISSUE_COST, PsendRequest
+from repro.san import record
 from repro.sim.resources import Counter
 from repro.ucx.memreg import rkey_ptr
 
@@ -101,6 +102,7 @@ class Prequest:
         for tp in range(self.agg.n_transport):
             self.gmem_counters[tp].reset()
             self.host_signals[tp].reset()
+        record.mark("epoch-arm", req=record.ident(self.sreq), preq=record.ident(self), epoch=epoch)
         self._watchers = [
             self.engine.process(self._watch(tp, expected, epoch), name=f"preq.watch{tp}")
             for tp in range(self.agg.n_transport)
@@ -109,6 +111,8 @@ class Prequest:
     def _watch(self, tp: int, expected: int, epoch: int) -> Generator:
         """Progression-engine watcher for one transport partition."""
         yield self.host_signals[tp].wait_for(expected)
+        # The PE observes the device's released signal history (sync edge).
+        record.acquire(("pe", self.rt.world_rank), ("sig", id(self.host_signals[tp])))
         if self.freed or self.sreq.epoch != epoch:
             return  # stale watcher from a previous epoch
         # Polling delay before the progression thread notices the signal.
@@ -120,6 +124,7 @@ class Prequest:
     def _host_pready(self, tp: int) -> Generator:
         """The progression engine's internal MPI_Pready issue."""
         yield self.engine.timeout(PUT_ISSUE_COST)
+        pe = ("pe", self.rt.world_rank)
         if self.on_ready is not None:
             self.on_ready(tp)
             return
@@ -127,11 +132,13 @@ class Prequest:
             # The flag-only completion must not overtake the direct store;
             # usually the copy landed long ago and this is a no-op wait.
             copy_ev = self.kc_copy_events.get(tp)
-            if copy_ev is not None and not copy_ev.triggered:
-                yield copy_ev
-            self.sreq.issue_pready(tp, with_data=False)
+            if copy_ev is not None:
+                if not copy_ev.triggered:
+                    yield copy_ev
+                record.acquire(pe, ("copydone", id(copy_ev)))
+            self.sreq.issue_pready(tp, with_data=False, actor=pe)
         else:
-            self.sreq.issue_pready(tp, with_data=True)
+            self.sreq.issue_pready(tp, with_data=True, actor=pe)
 
     # -- free ------------------------------------------------------------------------
     def free(self) -> Generator:
@@ -139,6 +146,7 @@ class Prequest:
         cost = self.device.cost
         yield self.engine.timeout(cost.memcpy_api_cost)  # cudaFree / cudaFreeHost
         self.freed = True
+        record.mark("preq-free", preq=record.ident(self), req=record.ident(self.sreq))
         self.sreq.preq = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -190,10 +198,12 @@ def prequest_create(
     if mode is CopyMode.KERNEL_COPY:
         target = sreq.rkey_data.target
         if target.gpu is None or not sreq.rt.fabric.topo.same_node(device.gpu_id, target.gpu):
-            raise MpiUsageError(
+            msg = (
                 "Kernel-Copy mode requires an intra-node (NVLink-reachable) "
                 "device-memory peer; use PROGRESSION_ENGINE otherwise"
             )
+            record.guard("ipc-misuse", ("host", sreq.rt.world_rank), msg)
+            raise MpiUsageError(msg)
 
     rt = sreq.rt
     cost = device.cost

@@ -1,0 +1,50 @@
+"""Vector clocks for the happens-before race detector.
+
+Classic epoch-based formulation (FastTrack lineage): every actor keeps a
+vector clock; a ``release`` on a sync object merges the releaser's clock
+into the object and advances the releaser's own component; an ``acquire``
+merges the object's clock into the acquirer.  An access stamped with the
+accessor's own component ``c`` happens-before a later observer iff the
+observer's clock for that actor is ``>= c``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+
+class VectorClock:
+    """A sparse vector clock: actor -> logical time (missing = 0)."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: Optional[Dict[Hashable, int]] = None) -> None:
+        self._c: Dict[Hashable, int] = dict(init) if init else {}
+
+    def get(self, actor: Hashable) -> int:
+        return self._c.get(actor, 0)
+
+    def tick(self, actor: Hashable) -> int:
+        """Advance ``actor``'s own component; returns the new value."""
+        v = self._c.get(actor, 0) + 1
+        self._c[actor] = v
+        return v
+
+    def join(self, other: Optional["VectorClock"]) -> "VectorClock":
+        """Component-wise max, in place; returns self."""
+        if other is not None:
+            for actor, v in other._c.items():
+                if v > self._c.get(actor, 0):
+                    self._c[actor] = v
+        return self
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when every component of ``other`` is <= ours."""
+        return all(self.get(a) >= v for a, v in other._c.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{a}:{v}" for a, v in sorted(self._c.items(), key=str))
+        return f"<VC {inner}>"

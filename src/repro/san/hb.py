@@ -1,0 +1,118 @@
+"""Happens-before data-race detection over a recorded trace.
+
+Replays the trace in ``(time, seq)`` order, maintaining one vector clock
+per actor and one per sync object.  Each actor-attributed access is
+compared against prior accesses of the same allocation: two accesses
+**race** when their byte ranges overlap, at least one is a write, the
+actors differ, and neither happens-before the other through the recorded
+synchronization edges (stream FIFO order, kernel launch/join, host-signal
+delivery to the progression engine, partition-arrived flags, stream
+drains).
+
+Anonymous transport copies (``actor is None`` — RMA puts and fabric
+transfers landing payloads) are excluded: their ordering is the wire
+protocol's job and the partitioned-semantics checks cover the rules that
+govern them.  They still participate in initialization tracking (see
+:mod:`repro.san.checks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.san.clocks import VectorClock
+from repro.san.record import ACCESS, ACQUIRE, RELEASE, Actor, AllocInfo, TraceEvent
+
+
+@dataclass(frozen=True)
+class Access:
+    """A prior access retained for conflict checking."""
+
+    actor: Actor
+    clock: int            # the actor's own VC component at access time
+    lo: int
+    hi: int
+    write: bool
+    time: float
+    seq: int
+    note: str
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered conflicting pair on one allocation."""
+
+    alloc: int
+    first: Access
+    second: Access
+
+
+def _conflicts(a: Access, ev: TraceEvent) -> bool:
+    return (
+        a.actor != ev.actor
+        and (a.write or ev.write)
+        and a.lo < ev.hi
+        and ev.lo < a.hi
+    )
+
+
+def detect_races(
+    events: Sequence[TraceEvent],
+    allocs: Dict[int, AllocInfo],
+) -> List[Race]:
+    """Run the vector-clock analysis; returns races, first-occurrence order.
+
+    One race is reported per (allocation, actor pair) to keep reports
+    readable — the first unordered conflict is the root cause, later ones
+    on the same pair are echoes.
+    """
+    actor_vc: Dict[Actor, VectorClock] = {}
+    obj_vc: Dict[Tuple, VectorClock] = {}
+    history: Dict[int, List[Access]] = {}
+    seen_pairs: Set[Tuple] = set()
+    races: List[Race] = []
+
+    def vc_of(actor: Actor) -> VectorClock:
+        vc = actor_vc.get(actor)
+        if vc is None:
+            vc = VectorClock()
+            vc.tick(actor)  # each actor is born at epoch 1
+            actor_vc[actor] = vc
+        return vc
+
+    for ev in events:
+        if ev.kind == ACQUIRE:
+            vc_of(ev.actor).join(obj_vc.get(ev.obj))
+        elif ev.kind == RELEASE:
+            vc = vc_of(ev.actor)
+            obj_vc.setdefault(ev.obj, VectorClock()).join(vc)
+            vc.tick(ev.actor)
+        elif ev.kind == ACCESS and ev.actor is not None:
+            vc = vc_of(ev.actor)
+            for prior in history.setdefault(ev.alloc, []):
+                if not _conflicts(prior, ev):
+                    continue
+                if prior.clock <= vc.get(prior.actor):
+                    continue  # ordered: prior happens-before this access
+                pair = (ev.alloc, prior.actor, ev.actor, prior.write, ev.write)
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                races.append(
+                    Race(
+                        alloc=ev.alloc,
+                        first=prior,
+                        second=Access(
+                            ev.actor, vc.get(ev.actor), ev.lo, ev.hi,
+                            ev.write, ev.time, ev.seq, ev.note,
+                        ),
+                    )
+                )
+            history[ev.alloc].append(
+                Access(
+                    ev.actor, vc.get(ev.actor), ev.lo, ev.hi,
+                    ev.write, ev.time, ev.seq, ev.note,
+                )
+            )
+    return races

@@ -1,0 +1,290 @@
+"""Static lint: AST checks enforcing repo invariants.
+
+Complements the dynamic sanitizer; runs standalone as
+``python scripts/lint_repro.py`` and inside ``scripts/ci.sh``.
+
+Checks (ids listed by ``python -m repro san --list-checks``):
+
+``wallclock``
+    No ``time.time``/``monotonic``/``perf_counter``, ``datetime.now``,
+    ``random.*`` or ``numpy.random`` inside the deterministic core
+    (``src/repro/{sim,cuda,partitioned,mpi}``).  The engine's determinism
+    contract (``sim/engine.py``) forbids wall-clock and ambient RNG.
+``raw-units``
+    Numeric literals that *are* unit constants (``1e-3``, ``1e-6``,
+    ``1e-9``, ``1024**2``, ``1024**3``) must be written with the
+    :mod:`repro.units` helpers (``ms``/``us``/``ns``/``MiB``/``GiB``)
+    in the deterministic core.
+``dropped-return``
+    A generator process body whose ``return value`` nobody can observe:
+    ``engine.process(body(...))`` called as a bare statement discards the
+    process event, and with it the generator's return value.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.san.checks import CheckInfo
+
+#: Packages whose modules the scoped checks apply to.
+CORE_PACKAGES = ("sim", "cuda", "partitioned", "mpi")
+
+STATIC_CHECKS = {
+    "wallclock": CheckInfo(
+        "wallclock", "static",
+        "no wall-clock / ambient randomness in src/repro/{sim,cuda,partitioned,mpi}",
+    ),
+    "raw-units": CheckInfo(
+        "raw-units", "static",
+        "unit-magnitude literals must use repro.units helpers (us, MiB, ...)",
+    ),
+    "dropped-return": CheckInfo(
+        "dropped-return", "static",
+        "process body returns a value but its process event is discarded",
+    ),
+}
+
+_WALLCLOCK_ATTRS = {
+    "time": {"time", "monotonic", "perf_counter", "process_time", "time_ns",
+             "monotonic_ns", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+}
+_RANDOM_MODULES = {"random"}
+_UNIT_FLOATS = {1e-3: "ms", 1e-6: "us", 1e-9: "ns"}
+_UNIT_INTS = {1024 ** 2: "MiB", 1024 ** 3: "GiB"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    path: str
+    line: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def _in_core(path: Path) -> bool:
+    parts = path.parts
+    if "repro" not in parts:
+        return False
+    last = len(parts) - 1 - parts[::-1].index("repro")
+    tail = parts[last + 1:]
+    return bool(tail) and tail[0] in CORE_PACKAGES
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _check_wallclock(tree: ast.AST, path: str) -> List[LintFinding]:
+    found: List[LintFinding] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        found.append(LintFinding(
+            path, node.lineno, "wallclock",
+            f"{what} breaks the engine's determinism contract; derive time "
+            "from Engine.now and randomness from an explicit seeded RNG",
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            root, *rest = dotted.split(".")
+            if not rest:
+                continue
+            if root in _WALLCLOCK_ATTRS and rest[-1] in _WALLCLOCK_ATTRS[root]:
+                flag(node, f"call to {dotted}")
+            elif root in _RANDOM_MODULES:
+                flag(node, f"use of {dotted}")
+            elif root in ("np", "numpy") and rest[0] == "random":
+                flag(node, f"use of {dotted}")
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = [a.name for a in node.names]
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time" and set(names) & _WALLCLOCK_ATTRS["time"]:
+                    flag(node, "import of wall-clock time functions")
+                elif node.module == "random":
+                    flag(node, "import from random")
+            elif "random" in names:
+                flag(node, "import random")
+    return found
+
+
+def _check_raw_units(tree: ast.AST, path: str) -> List[LintFinding]:
+    found: List[LintFinding] = []
+    for node in ast.walk(tree):
+        unit = None
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            unit = _UNIT_FLOATS.get(node.value)
+        elif (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Pow)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+            and node.left.value == 1024
+        ):
+            unit = _UNIT_INTS.get(1024 ** node.right.value)
+        if unit is not None:
+            found.append(LintFinding(
+                path, node.lineno, "raw-units",
+                f"raw literal where repro.units.{unit} reads as the paper writes it",
+            ))
+    return found
+
+
+def _check_dropped_return(tree: ast.AST, path: str) -> List[LintFinding]:
+    found: List[LintFinding] = []
+
+    def is_generator(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                # Nested defs have their own yields; only count this fn's.
+                if _owner(fn, node) is fn:
+                    return True
+        return False
+
+    def _owner(top: ast.AST, target: ast.AST):
+        owner = top
+        stack = [(top, top)]
+        while stack:
+            node, own = stack.pop()
+            if node is target:
+                return own
+            for child in ast.iter_child_nodes(node):
+                child_own = (
+                    child
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                    else own
+                )
+                stack.append((child, child_own))
+        return owner
+
+    def returns_value(fn: ast.AST) -> Optional[int]:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and not (isinstance(node.value, ast.Constant) and node.value.value is None)
+                and _owner(fn, node) is fn
+            ):
+                return node.lineno
+        return None
+
+    # Generator defs (module- or locally-scoped) that return a value.
+    valued: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and is_generator(node):
+            line = returns_value(node)
+            if line is not None:
+                valued[node.name] = line
+
+    # Bare-statement `<x>.process(f(...))` calls discard the process event.
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        if not (isinstance(call.func, ast.Attribute) and call.func.attr == "process"):
+            continue
+        if not call.args:
+            continue
+        first = call.args[0]
+        if (
+            isinstance(first, ast.Call)
+            and isinstance(first.func, ast.Name)
+            and first.func.id in valued
+        ):
+            found.append(LintFinding(
+                path, node.lineno, "dropped-return",
+                f"process body {first.func.id!r} returns a value (line "
+                f"{valued[first.func.id]}) but the process event is discarded "
+                "here — bind the event or drop the return value",
+            ))
+    return found
+
+
+# --------------------------------------------------------------------------
+# drivers
+# --------------------------------------------------------------------------
+
+def lint_source(
+    source: str, path: str, scoped: bool = True
+) -> List[LintFinding]:
+    """Lint one module's source.  ``scoped``: apply the core-package-only
+    checks (wallclock, raw-units) as if the file lives in the core."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path, exc.lineno or 0, "syntax", str(exc))]
+    found: List[LintFinding] = []
+    if scoped:
+        found += _check_wallclock(tree, path)
+        found += _check_raw_units(tree, path)
+    found += _check_dropped_return(tree, path)
+    return found
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> List[LintFinding]:
+    scoped = _in_core(path if root is None else path.relative_to(root.parent))
+    return lint_source(path.read_text(), str(path), scoped=scoped)
+
+
+def lint_tree(root: Path) -> List[LintFinding]:
+    """Lint every module under ``root`` (typically ``src/repro``)."""
+    findings: List[LintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name == "units.py":
+            continue
+        findings += lint_file(path)
+    return findings
+
+
+def render(findings: Iterable[LintFinding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(f"lint: {len(lines)} finding(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="AST lint for repo invariants (see repro.san.lint).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument("--list", action="store_true", help="list checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for info in STATIC_CHECKS.values():
+            print(f"{info.id:16s} [{info.kind}] {info.summary}")
+        return 0
+
+    findings: List[LintFinding] = []
+    for p in args.paths:
+        path = Path(p)
+        if path.is_dir():
+            findings += lint_tree(path)
+        else:
+            findings += lint_file(path)
+    print(render(findings))
+    return 1 if findings else 0

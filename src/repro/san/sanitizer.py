@@ -1,0 +1,67 @@
+"""The Sanitizer context manager: record a window, then analyze it.
+
+::
+
+    with Sanitizer() as san:
+        World(ONE_NODE).run(main, nprocs=2)
+    if not san.report.ok:
+        print(san.report.render())
+
+A sanitizer is global while active (exactly one at a time): every Engine
+built inside the window registers itself, so multi-``World`` programs —
+e.g. ``examples/jacobi_halo.py`` running six solves — are sanitized end
+to end.  Analysis (the happens-before detector plus the partitioned-
+semantics checks) runs once, at ``__exit__``; the report is also computed
+when the body raises, so guard-tripped runs still yield findings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.san import record
+from repro.san.checks import run_checks
+from repro.san.report import Finding, Report
+
+
+class Sanitizer:
+    """Records one window of simulation and checks it.
+
+    Parameters
+    ----------
+    checks:
+        Check ids to run (default: every dynamic check).  See
+        ``python -m repro san --list-checks``.
+    """
+
+    def __init__(self, checks: Optional[Sequence[str]] = None) -> None:
+        self.checks = list(checks) if checks is not None else None
+        self.recorder: Optional[record.Recorder] = None
+        self.report: Optional[Report] = None
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "Sanitizer":
+        self.recorder = record.Recorder()
+        record.install(self.recorder)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = record.uninstall()
+        self.report = Report(
+            findings=run_checks(rec.events, rec.allocs, only=self.checks),
+            trace=rec.events,
+        )
+        return False  # never swallow the body's exception
+
+    # -- results ------------------------------------------------------------
+    @property
+    def findings(self) -> List[Finding]:
+        if self.report is None:
+            raise RuntimeError("sanitizer window still open (or never entered)")
+        return self.report.findings
+
+    def trace_bytes(self) -> bytes:
+        """Deterministic serialization of the recorded trace."""
+        if self.recorder is None:
+            raise RuntimeError("sanitizer was never entered")
+        return self.recorder.trace_bytes()

@@ -15,6 +15,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout, PRIORITY_NORMAL
 from repro.sim.process import Process, ProcessFailed
+from repro.san import record
 
 
 class EmptySchedule(Exception):
@@ -32,6 +33,11 @@ class Engine:
         self._crashed: Optional[ProcessFailed] = None
         self.trace_enabled = trace
         self.trace_log: List[Tuple[float, str]] = []
+        #: Optional hook called as ``on_step(time, priority, seq)`` for every
+        #: popped event, in pop order.  The argument triple *is* the heap
+        #: tie-break key — the determinism regression test hashes it.
+        self.on_step: Optional[Callable[[float, int, int], None]] = None
+        record.note_engine(self)
 
     # -- time --------------------------------------------------------------
     @property
@@ -71,6 +77,8 @@ class Engine:
         if time < self._now:  # pragma: no cover - defensive
             raise RuntimeError("time went backwards")
         self._now = time
+        if self.on_step is not None:
+            self.on_step(time, _prio, _seq)
         ev._run_callbacks()
         if self._crashed is not None:
             crashed, self._crashed = self._crashed, None

@@ -1,0 +1,149 @@
+"""Vector clocks and the happens-before race detector (synthetic traces)."""
+
+from repro.san.clocks import VectorClock
+from repro.san.hb import detect_races
+from repro.san.record import ACCESS, ACQUIRE, RELEASE, TraceEvent
+
+A = ("block", "gpu0", "k", 0)
+B = ("block", "gpu0", "k", 1)
+
+
+def ev(seq, kind, actor, *, obj=None, alloc=0, lo=0, hi=8, write=False):
+    return TraceEvent(
+        time=float(seq), seq=seq, kind=kind, actor=actor,
+        obj=obj, alloc=alloc, lo=lo, hi=hi, write=write,
+    )
+
+
+# -- VectorClock ------------------------------------------------------------
+
+def test_vector_clock_tick_and_get():
+    vc = VectorClock()
+    assert vc.get(A) == 0
+    vc.tick(A)
+    vc.tick(A)
+    assert vc.get(A) == 2
+    assert vc.get(B) == 0
+
+
+def test_vector_clock_join_is_componentwise_max():
+    a, b = VectorClock(), VectorClock()
+    a.tick(A)
+    b.tick(B)
+    b.tick(B)
+    a.join(b)
+    assert a.get(A) == 1 and a.get(B) == 2
+
+
+def test_vector_clock_dominates():
+    a, b = VectorClock(), VectorClock()
+    a.tick(A)
+    assert a.dominates(b)
+    b.tick(B)
+    assert not a.dominates(b)
+    a.join(b)
+    assert a.dominates(b)
+
+
+# -- race detection ----------------------------------------------------------
+
+def test_unsynchronized_writes_race():
+    races = detect_races(
+        [ev(1, ACCESS, A, write=True), ev(2, ACCESS, B, write=True)], {}
+    )
+    assert len(races) == 1
+    assert races[0].first.actor == A and races[0].second.actor == B
+
+
+def test_read_read_never_races():
+    assert detect_races([ev(1, ACCESS, A), ev(2, ACCESS, B)], {}) == []
+
+
+def test_disjoint_ranges_never_race():
+    races = detect_races(
+        [
+            ev(1, ACCESS, A, lo=0, hi=8, write=True),
+            ev(2, ACCESS, B, lo=8, hi=16, write=True),
+        ],
+        {},
+    )
+    assert races == []
+
+
+def test_different_allocations_never_race():
+    races = detect_races(
+        [
+            ev(1, ACCESS, A, alloc=0, write=True),
+            ev(2, ACCESS, B, alloc=1, write=True),
+        ],
+        {},
+    )
+    assert races == []
+
+
+def test_same_actor_never_races():
+    races = detect_races(
+        [ev(1, ACCESS, A, write=True), ev(2, ACCESS, A, write=True)], {}
+    )
+    assert races == []
+
+
+def test_release_acquire_orders_the_pair():
+    sig = ("sig", 1)
+    races = detect_races(
+        [
+            ev(1, ACCESS, A, write=True),
+            ev(2, RELEASE, A, obj=sig),
+            ev(3, ACQUIRE, B, obj=sig),
+            ev(4, ACCESS, B, write=True),
+        ],
+        {},
+    )
+    assert races == []
+
+
+def test_acquire_before_release_does_not_order():
+    sig = ("sig", 1)
+    races = detect_races(
+        [
+            ev(1, ACQUIRE, B, obj=sig),      # observed nothing yet
+            ev(2, ACCESS, A, write=True),
+            ev(3, RELEASE, A, obj=sig),
+            ev(4, ACCESS, B, write=True),
+        ],
+        {},
+    )
+    assert len(races) == 1
+
+
+def test_transitive_ordering_through_intermediary():
+    pe = ("pe", 0)
+    s1, s2 = ("sig", 1), ("arr", 2)
+    races = detect_races(
+        [
+            ev(1, ACCESS, A, write=True),
+            ev(2, RELEASE, A, obj=s1),
+            ev(3, ACQUIRE, pe, obj=s1),
+            ev(4, RELEASE, pe, obj=s2),
+            ev(5, ACQUIRE, B, obj=s2),
+            ev(6, ACCESS, B, write=False),
+        ],
+        {},
+    )
+    assert races == []
+
+
+def test_anonymous_transport_copies_excluded():
+    races = detect_races(
+        [ev(1, ACCESS, None, write=True), ev(2, ACCESS, A, write=True)], {}
+    )
+    assert races == []
+
+
+def test_one_report_per_directed_actor_pair():
+    events = [
+        ev(1, ACCESS, A, write=True),
+        ev(2, ACCESS, B, write=True),
+        ev(3, ACCESS, B, write=True),  # echo of the same A->B conflict
+    ]
+    assert len(detect_races(events, {})) == 1

@@ -1,0 +1,127 @@
+"""The AST lint: determinism, unit-literal, and dropped-return invariants."""
+
+from pathlib import Path
+
+from repro.san.lint import lint_source, main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _checks(findings):
+    return [f.check for f in findings]
+
+
+# -- wallclock ---------------------------------------------------------------
+
+def test_wallclock_call_flagged():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert "wallclock" in _checks(lint_source(src, "sim/x.py"))
+
+
+def test_random_module_flagged():
+    src = "import random\n\ndef f():\n    return random.random()\n"
+    findings = lint_source(src, "sim/x.py")
+    assert _checks(findings).count("wallclock") >= 1
+
+
+def test_numpy_random_flagged():
+    src = "import numpy as np\n\ndef f():\n    return np.random.rand()\n"
+    assert "wallclock" in _checks(lint_source(src, "sim/x.py"))
+
+
+def test_wallclock_unscoped_files_exempt():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert lint_source(src, "bench/x.py", scoped=False) == []
+
+
+def test_engine_now_is_fine():
+    src = "def f(engine):\n    return engine.now\n"
+    assert lint_source(src, "sim/x.py") == []
+
+
+# -- raw-units ---------------------------------------------------------------
+
+def test_raw_unit_float_flagged():
+    src = "LATENCY = 7.8 * 1e-6\n"
+    findings = lint_source(src, "cuda/x.py")
+    assert _checks(findings) == ["raw-units"]
+    assert "repro.units.us" in findings[0].message
+
+
+def test_raw_unit_pow_flagged():
+    src = "SIZE = 4 * 1024 ** 2\n"
+    findings = lint_source(src, "cuda/x.py")
+    assert _checks(findings) == ["raw-units"]
+    assert "MiB" in findings[0].message
+
+
+def test_non_unit_literals_pass():
+    src = "X = 0.5\nY = 1024\nZ = 2e-5\n"
+    assert lint_source(src, "cuda/x.py") == []
+
+
+# -- dropped-return ----------------------------------------------------------
+
+DROPPED = """
+def worker():
+    yield 1
+    return 42
+
+def spawn(engine):
+    engine.process(worker())
+"""
+
+BOUND = """
+def worker():
+    yield 1
+    return 42
+
+def spawn(engine):
+    ev = engine.process(worker())
+    return ev
+"""
+
+NO_VALUE = """
+def worker():
+    yield 1
+
+def spawn(engine):
+    engine.process(worker())
+"""
+
+
+def test_dropped_return_flagged():
+    findings = lint_source(DROPPED, "sim/x.py")
+    assert _checks(findings) == ["dropped-return"]
+    assert "'worker'" in findings[0].message
+
+
+def test_bound_process_event_passes():
+    assert lint_source(BOUND, "sim/x.py") == []
+
+
+def test_valueless_body_passes():
+    assert lint_source(NO_VALUE, "sim/x.py") == []
+
+
+# -- drivers -----------------------------------------------------------------
+
+def test_seeded_wallclock_file_fails(tmp_path, capsys):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef now():\n    return time.time()\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "wallclock" in out and "bad.py" in out
+
+
+def test_seeded_file_outside_core_passes(tmp_path, capsys):
+    ok = tmp_path / "repro" / "bench" / "timer.py"
+    ok.parent.mkdir(parents=True)
+    ok.write_text("import time\n\ndef now():\n    return time.time()\n")
+    assert main([str(ok)]) == 0
+
+
+def test_real_tree_is_clean(capsys):
+    assert main([str(REPO_SRC)]) == 0
+    assert "lint: 0 finding(s)" in capsys.readouterr().out
