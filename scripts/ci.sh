@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: tests + repo-invariant lint + (when available) ruff.
-# Usage: scripts/ci.sh
+# Tier-1 gate: tests + benchmark smoke + repo-invariant lint + (when
+# available) ruff.  Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q
+PYTHONPATH=src python -m pytest -x -q -m "not smoke"
+
+echo "== benchmark smoke (one small-grid point per paper figure) =="
+PYTHONPATH=src python -m pytest -x -q -m smoke
 
 echo "== repo-invariant lint (scripts/lint_repro.py) =="
 python scripts/lint_repro.py src/repro

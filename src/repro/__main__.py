@@ -6,6 +6,8 @@
     python -m repro all [--fast]         # everything -> RESULTS.md
     python -m repro san <script>         # sanitize a run (see repro.san)
     python -m repro san --list-checks
+    python -m repro topo <spec>          # print/validate a machine spec
+    python -m repro topo --list
 """
 
 from __future__ import annotations
@@ -22,6 +24,10 @@ def main(argv=None) -> int:
         from repro.san.cli import main as san_main
 
         return san_main(argv[1:])
+    if argv and argv[0] == "topo":
+        from repro.hw.spec.cli import main as topo_main
+
+        return topo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

@@ -21,6 +21,7 @@ import numpy as np
 from repro.cuda.kernel import BlockKernel, UniformKernel
 from repro.cuda.timing import WorkSpec
 from repro.hw.params import ONE_NODE, TestbedConfig
+from repro.hw.topology import MachineLike
 from repro.mpi.world import World
 from repro.partitioned import device as pdev
 from repro.partitioned.aggregation import AggregationSpec, SignalMode
@@ -194,11 +195,12 @@ def _p2p_goodput_main(ctx, grid: int, model: str, iters: int, tps: int) -> Gener
 def measure_p2p_goodput(
     grid: int,
     model: str,
-    config: TestbedConfig = ONE_NODE,
+    config: MachineLike = ONE_NODE,
     iters: int = 3,
     tps: Optional[int] = None,
 ) -> float:
-    """Goodput (bytes/s) for one (grid, model) point; warmup discarded."""
+    """Goodput (bytes/s) for one (grid, model) point on any machine
+    description (legacy config or :class:`MachineSpec`); warmup discarded."""
     if tps is None:
         tps = auto_transport_partitions(grid, model, inter_node=config.n_nodes > 1)
     world = World(config)

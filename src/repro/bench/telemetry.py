@@ -41,26 +41,18 @@ class FabricSnapshot:
         return self.classes.get(name, LinkStats())
 
 
-_CLASSES = ("hbm", "nvlink", "c2c_h2d", "c2c_d2h", "nic_out", "nic_in", "hostmem")
-
-
 def snapshot(fabric: Fabric) -> FabricSnapshot:
-    """Aggregate all link counters by class."""
-    snap = FabricSnapshot({c: LinkStats() for c in _CLASSES})
+    """Aggregate all link counters by the link's ``kind`` attribute.
 
-    def acc(cls: str, links) -> None:
-        st = snap.classes[cls]
-        for link in links:
-            st.bytes += link.bytes_carried
-            st.transfers += link.n_transfers
-
-    acc("hbm", fabric.hbm.values())
-    acc("nvlink", fabric.nvlink.values())
-    acc("c2c_h2d", fabric.c2c_h2d.values())
-    acc("c2c_d2h", fabric.c2c_d2h.values())
-    acc("nic_out", fabric.nic_out.values())
-    acc("nic_in", fabric.nic_in.values())
-    acc("hostmem", list(fabric.hostmem_tx.values()) + list(fabric.hostmem_rx.values()))
+    The classes are whatever the machine spec declares (``"nvlink"`` on a
+    GH200, ``"switch"`` on a DGX, ``"pcie_d2h"`` on a no-P2P box) — no
+    hard-coded class list, so telemetry works on any spec.
+    """
+    snap = FabricSnapshot({k: LinkStats() for k in fabric.link_kinds()})
+    for link in fabric.iter_links():
+        st = snap.classes[link.kind]
+        st.bytes += link.bytes_carried
+        st.transfers += link.n_transfers
     return snap
 
 
@@ -70,7 +62,6 @@ def report(fabric: Fabric) -> str:
 
     snap = snapshot(fabric)
     lines = ["link class   bytes        transfers"]
-    for name in _CLASSES:
-        st = snap[name]
+    for name, st in snap.classes.items():
         lines.append(f"{name:<12} {fmt_bytes(st.bytes):<12} {st.transfers}")
     return "\n".join(lines)

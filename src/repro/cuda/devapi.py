@@ -56,7 +56,7 @@ def host_flag_write_proc(
     if n_writes < 1:
         raise ValueError("n_writes must be >= 1")
     hw = device.fabric.config.params
-    link = device.fabric.c2c_d2h[device.gpu_id]
+    link = device.fabric.d2h_link(device.gpu_id)
     yield link.port.acquire()
     yield device.engine.timeout(n_writes * hw.flag_write_host)
     link.n_transfers += n_writes

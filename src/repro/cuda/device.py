@@ -38,12 +38,24 @@ class Device:
         self.engine = fabric.engine
         self.gpu_id = gpu_id
         self.node = fabric.topo.node_of(gpu_id)
-        self.cost = cost or CostModel()
+        self.cost = cost or self._spec_cost(fabric, gpu_id)
         self.name = name or f"gpu{gpu_id}"
         from repro.cuda.stream import Stream  # local import to avoid cycle
 
         self.default_stream = Stream(self, name=f"{self.name}.s0")
         self._stream_count = 1
+
+    @staticmethod
+    def _spec_cost(fabric: Fabric, gpu_id: int) -> CostModel:
+        """Cost model for this device, honouring the machine spec's per-GPU
+        constants (SM count, HBM bandwidth) when the spec sets them."""
+        gs = fabric.spec.gpu_spec(gpu_id)
+        overrides = {}
+        if gs.sm_count is not None:
+            overrides["sm_count"] = gs.sm_count
+        if gs.hbm_bw is not None:
+            overrides["hbm_bw"] = gs.hbm_bw
+        return CostModel().with_overrides(**overrides) if overrides else CostModel()
 
     # -- allocation --------------------------------------------------------------
     def alloc(self, n: int, dtype=np.float64, fill: Optional[float] = None, label: str = "") -> Buffer:

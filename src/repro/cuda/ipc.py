@@ -6,9 +6,10 @@ Kernel-Copy path relies on UCX's cuda_ipc transport calling
 buffer (Section IV-A4); :meth:`IpcMemHandle.open` returns exactly that
 device-visible mapped view.
 
-Opening a handle is only legal from a GPU on the same node (NVLink/PCIe
-reachability), which is why the paper's Kernel-Copy mode is intra-node
-only — the same restriction is enforced here.
+Opening a handle is only legal from a GPU that can peer-map the owner
+(:meth:`~repro.hw.topology.Topology.can_peer_map` — same node *and* a
+P2P-capable interconnect), which is why the paper's Kernel-Copy mode is
+intra-node only, and why a no-P2P PCIe machine rejects it even there.
 """
 
 from __future__ import annotations
@@ -48,10 +49,13 @@ class IpcMemHandle:
         keeps the *owner's* location, so fabric routing charges the
         NVLink hop between opener and owner on every access.
         """
-        if not topo.same_node(opener_gpu, self.owner_gpu):
+        if not topo.can_peer_map(opener_gpu, self.owner_gpu):
+            if topo.same_node(opener_gpu, self.owner_gpu):
+                why = "no peer-to-peer capability (host-staged interconnect)"
+            else:
+                why = "different nodes (no NVLink/PCIe path)"
             msg = (
-                f"gpu {opener_gpu} cannot IPC-open memory of gpu {self.owner_gpu}: "
-                "different nodes (no NVLink/PCIe path)"
+                f"gpu {opener_gpu} cannot IPC-open memory of gpu {self.owner_gpu}: {why}"
             )
             record.guard("ipc-misuse", ("host", opener_gpu), msg)
             raise IpcError(msg)

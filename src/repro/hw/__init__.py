@@ -1,15 +1,18 @@
-"""Hardware models: GH200 testbed topology, links, memory spaces, routes.
+"""Hardware models: machine specs, topology, links, memory spaces, routes.
 
 This package provides the *physical* substrate under the GPU and network
 simulators: where buffers live, which links connect which components, and
-how long a byte-stream takes to traverse a path.  All constants live in
-:mod:`repro.hw.params` and mirror the testbed of the paper's Section V.
+how long a byte-stream takes to traverse a path.  Machines are described
+declaratively (:mod:`repro.hw.spec`) and compiled into a routable link
+graph; the paper's GH200 testbed (Section V) is the canonical catalog
+entry, with its calibration constants in :mod:`repro.hw.params`.
 """
 
 from repro.hw.params import GH200Params, TestbedConfig
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.links import Link
-from repro.hw.topology import Fabric, GpuId, Topology
+from repro.hw.spec import MachineSpec, as_spec, gh200_spec, named_spec
+from repro.hw.topology import Fabric, GpuId, MachineLike, Topology
 
 __all__ = [
     "Buffer",
@@ -17,7 +20,12 @@ __all__ = [
     "GH200Params",
     "GpuId",
     "Link",
+    "MachineLike",
+    "MachineSpec",
     "MemSpace",
     "TestbedConfig",
     "Topology",
+    "as_spec",
+    "gh200_spec",
+    "named_spec",
 ]

@@ -12,7 +12,7 @@ of bandwidth sharing.  Wire latency is charged after serialization
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -27,6 +27,12 @@ class Link:
     while storms of tiny messages (e.g. per-thread flag writes over C2C)
     serialize at ``overhead`` each — which is exactly the effect the paper's
     Fig 3 measures.
+
+    ``kind`` names the link's telemetry class (``"nvlink"``, ``"switch"``,
+    ``"nic_out"``, ...); :mod:`repro.bench.telemetry` aggregates counters by
+    it.  ``stage`` is the link's rank in the hierarchical acquisition order
+    (tx < nic_out < nic_in < rx): every route acquires links in strictly
+    increasing stage, which keeps concurrent transfers deadlock-free.
     """
 
     __slots__ = (
@@ -35,6 +41,8 @@ class Link:
         "bandwidth",
         "latency",
         "overhead",
+        "kind",
+        "stage",
         "port",
         "bytes_carried",
         "n_transfers",
@@ -47,6 +55,8 @@ class Link:
         bandwidth: float,
         latency: float,
         overhead: float = 0.0,
+        kind: str = "",
+        stage: int = 0,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"link {name}: bandwidth must be positive")
@@ -59,6 +69,8 @@ class Link:
         self.bandwidth = bandwidth
         self.latency = latency
         self.overhead = overhead
+        self.kind = kind or name
+        self.stage = stage
         self.port = Resource(engine, capacity=1)
         self.bytes_carried = 0
         self.n_transfers = 0
@@ -72,7 +84,7 @@ class Link:
 
 def transfer_process(
     engine: Engine,
-    route: List[Link],
+    route: Sequence[Link],
     nbytes: int,
     on_wire_done: Optional[Callable[[], None]] = None,
 ):
@@ -110,7 +122,7 @@ def transfer_process(
 
 def start_transfer(
     engine: Engine,
-    route: List[Link],
+    route: Sequence[Link],
     nbytes: int,
     on_wire_done: Optional[Callable[[], None]] = None,
     name: str = "xfer",

@@ -113,6 +113,15 @@ class TestbedConfig:
     def with_overrides(self, **kw) -> "TestbedConfig":
         return replace(self, **kw)
 
+    def spec(self):
+        """This config re-expressed as the canonical GH200
+        :class:`~repro.hw.spec.schema.MachineSpec` (what the fabric
+        builds; byte-identical behaviour is pinned by the determinism
+        regression)."""
+        from repro.hw.spec.catalog import gh200_spec  # local: avoids cycle
+
+        return gh200_spec(self.n_nodes, self.gpus_per_node, self.params)
+
 
 #: The testbed of the paper: two nodes, four GH200 superchips each.
 PAPER_TESTBED = TestbedConfig()

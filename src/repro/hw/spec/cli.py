@@ -1,0 +1,117 @@
+"""``python -m repro topo``: print and validate a machine spec's link table.
+
+    python -m repro topo --list            # known spec names
+    python -m repro topo gh200-2x4         # link table + route validation
+    python -m repro topo pcie-nop2p --routes  # also dump resolved routes
+
+Validation builds the full link graph and resolves a route for every
+(src-port, dst-port) pair, checking that each resolved route acquires
+links in strictly increasing stage (the deadlock-freedom ladder) — the
+same invariant the property tests sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterable, List, Tuple
+
+from repro.hw.spec.catalog import SPECS, named_spec
+from repro.hw.spec.graph import LinkGraph, Port, RouteSearchError
+from repro.hw.spec.schema import MachineSpec, SpecError
+from repro.sim.engine import Engine
+from repro.units import GBps, us
+
+
+def _ports(spec: MachineSpec) -> List[Port]:
+    ports: List[Port] = [("gpu", g) for g in range(spec.n_gpus)]
+    for n in range(spec.n_nodes):
+        ports.append(("pin", n))
+        ports.append(("pag", n))
+    return ports
+
+
+def _route_rows(graph: LinkGraph) -> Iterable[Tuple[Port, Port, Tuple]]:
+    ports = _ports(graph.spec)
+    for src in ports:
+        for dst in ports:
+            yield src, dst, graph.search(src, dst)
+
+
+def validate_spec(spec: MachineSpec) -> List[str]:
+    """Return a list of problems (empty = valid).
+
+    Checks the schema invariants, then resolves every endpoint-pair route
+    and verifies the hierarchical acquisition order.
+    """
+    problems: List[str] = []
+    try:
+        spec.validate()
+    except SpecError as exc:
+        return [f"schema: {exc}"]
+    graph = LinkGraph(Engine(), spec)
+    try:
+        for src, dst, route in _route_rows(graph):
+            if not route:
+                problems.append(f"route {src} -> {dst}: empty")
+                continue
+            stages = [link.stage for link in route]
+            if src != dst and stages != sorted(set(stages)):
+                problems.append(
+                    f"route {src} -> {dst}: stages not strictly increasing: "
+                    f"{[(l.name, l.stage) for l in route]}"
+                )
+    except RouteSearchError as exc:
+        problems.append(f"routing: {exc}")
+    return problems
+
+
+def _fmt_link(link) -> str:
+    return (
+        f"{link.name:<14} {link.kind:<10} stage={link.stage} "
+        f"{link.bandwidth / GBps:8.1f} GB/s {link.latency / us:7.2f} us"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro topo",
+        description="Print and validate a machine spec's link table.",
+    )
+    parser.add_argument("spec", nargs="?", help="spec name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list known specs")
+    parser.add_argument("--routes", action="store_true", help="dump resolved routes")
+    args = parser.parse_args(argv)
+
+    if args.list or args.spec is None:
+        for name, spec in SPECS.items():
+            print(f"{name:<14} {spec.n_nodes} node(s) x {spec.uniform_gpus_per_node} gpu(s)")
+        return 0
+
+    try:
+        spec = named_spec(args.spec)
+    except SpecError as exc:
+        parser.error(str(exc))
+
+    graph = LinkGraph(Engine(), spec)
+    print(f"machine {spec.name}: {spec.n_nodes} node(s), {spec.n_gpus} gpu(s)")
+    for n, node in enumerate(spec.nodes):
+        print(f"  node {n}: {node.n_gpus} gpu(s), {node.interconnect.value} interconnect, "
+              f"{'NIC per GPU' if node.nic_per_gpu else 'shared node NIC'}")
+    print(f"\n{len(graph.links)} links:")
+    for link in graph.links:
+        print(f"  {_fmt_link(link)}")
+
+    if args.routes:
+        print("\nroutes:")
+        for src, dst, route in _route_rows(graph):
+            names = " -> ".join(link.name for link in route)
+            print(f"  {src} -> {dst}: {names}")
+
+    problems = validate_spec(spec)
+    if problems:
+        print(f"\nINVALID: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("\nvalid: all endpoint-pair routes resolve with hierarchical link order")
+    return 0

@@ -1,0 +1,197 @@
+"""Typed link graph built from a :class:`MachineSpec` + route search.
+
+Ports (graph vertices) are locations a byte stream can start, end, or pass
+through::
+
+    ("gpu", g)   device memory of global GPU g
+    ("pin", n)   pinned / registered host memory on node n (wire-visible)
+    ("pag", n)   pageable host memory on node n (behind the DRAM port)
+    ("sw",  n)   node n's intra-node switch (SWITCH interconnect only)
+    ("net",)     the inter-node wire
+
+Edges carry one or two :class:`~repro.hw.links.Link` objects (a pageable
+endpoint reaches the wire through its DRAM port *and* the NIC).  Routes
+are resolved by uniform-cost search minimizing the number of links, with
+ties broken by adjacency insertion order — fully deterministic.  The
+:class:`~repro.hw.topology.Fabric` memoizes resolved routes per
+(src-port, dst-port) pair, so the hot transfer path never re-searches.
+
+Every link gets a ``stage`` rank from the spec schema; by construction
+each route's stages are strictly increasing (the deadlock-freedom ladder
+``tx < nic_out < nic_in < rx``), which the property tests sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.hw.links import Link
+from repro.hw.spec.schema import (
+    Interconnect,
+    LinkClass,
+    MachineSpec,
+    STAGE_D2D,
+    STAGE_DST_LOCAL,
+    STAGE_HOSTMEM_RX,
+    STAGE_HOSTMEM_TX,
+    STAGE_NIC_IN,
+    STAGE_NIC_OUT,
+    STAGE_SRC_LOCAL,
+    STAGE_SWITCH_DOWN,
+)
+from repro.sim.engine import Engine
+
+#: A graph vertex (see module docstring).
+Port = Tuple
+#: An adjacency entry: (destination port, links acquired crossing the edge).
+Edge = Tuple[Port, Tuple[Link, ...]]
+
+
+class RouteSearchError(Exception):
+    """No path exists between the requested ports."""
+
+
+class LinkGraph:
+    """All links of one machine, wired into a routable directed graph."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.adj: Dict[Port, List[Edge]] = {}
+        #: Route used when source and destination ports coincide.
+        self.self_routes: Dict[Port, Tuple[Link, ...]] = {}
+        #: Every link, in registration order (telemetry iterates this).
+        self.links: List[Link] = []
+
+        # Structured registries (Fabric re-exports these as attributes).
+        self.hbm: Dict[int, Link] = {}
+        self.d2d: Dict[Tuple[int, int], Link] = {}
+        self.switch_up: Dict[int, Link] = {}
+        self.switch_down: Dict[int, Link] = {}
+        self.d2h: Dict[int, Link] = {}
+        self.h2d: Dict[int, Link] = {}
+        self.hostmem_tx: Dict[int, Link] = {}
+        self.hostmem_rx: Dict[int, Link] = {}
+        #: NIC links, keyed by GPU (per-GPU NICs) or by node (shared NIC).
+        self.nic_out: Dict[int, Link] = {}
+        self.nic_in: Dict[int, Link] = {}
+
+        self._build()
+
+    # -- construction --------------------------------------------------------
+    def _link(self, cls: LinkClass, name: str, stage: int, bandwidth: float = None) -> Link:
+        link = Link(
+            self.engine,
+            name,
+            bandwidth if bandwidth is not None else cls.bandwidth,
+            cls.latency,
+            cls.overhead,
+            kind=cls.kind,
+            stage=stage,
+        )
+        self.links.append(link)
+        return link
+
+    def _edge(self, src: Port, dst: Port, *links: Link) -> None:
+        self.adj.setdefault(src, []).append((dst, links))
+
+    def _build(self) -> None:
+        spec = self.spec
+        net: Port = ("net",)
+        for n, node in enumerate(spec.nodes):
+            base = spec.gpu_base(n)
+            gpus = range(base, base + node.n_gpus)
+
+            # Local ports: HBM self-copy and the pageable DRAM tx/rx pair.
+            for g in gpus:
+                bw = spec.gpu_spec(g).hbm_bw
+                self.hbm[g] = self._link(node.hbm, f"hbm{g}", STAGE_SRC_LOCAL, bandwidth=bw)
+                self.self_routes[("gpu", g)] = (self.hbm[g],)
+            tx = self.hostmem_tx[n] = self._link(node.hostmem, f"hostmem_tx{n}", STAGE_HOSTMEM_TX)
+            rx = self.hostmem_rx[n] = self._link(node.hostmem, f"hostmem_rx{n}", STAGE_HOSTMEM_RX)
+            self.self_routes[("pin", n)] = (tx, rx)
+            self.self_routes[("pag", n)] = (tx, rx)
+            self._edge(("pag", n), ("pin", n), tx, rx)
+            self._edge(("pin", n), ("pag", n), tx, rx)
+
+            # Intra-node D2D wiring (listed first so equally-short host
+            # detours never win a tie against the direct device path).
+            if node.interconnect is Interconnect.PAIR_MESH:
+                for a in gpus:
+                    for b in gpus:
+                        if a != b:
+                            self.d2d[(a, b)] = self._link(
+                                node.d2d, f"nvl{a}->{b}", STAGE_D2D
+                            )
+                            self._edge(("gpu", a), ("gpu", b), self.d2d[(a, b)])
+            elif node.interconnect is Interconnect.SWITCH:
+                for g in gpus:
+                    up = self.switch_up[g] = self._link(node.d2d, f"swup{g}", STAGE_D2D)
+                    down = self.switch_down[g] = self._link(
+                        node.d2d, f"swdn{g}", STAGE_SWITCH_DOWN
+                    )
+                    self._edge(("gpu", g), ("sw", n), up)
+                    self._edge(("sw", n), ("gpu", g), down)
+            # HOST_STAGED: no device edges; BFS stages D2D through the host.
+
+            # Host <-> device links (C2C or PCIe, per direction per GPU).
+            for g in gpus:
+                d2h = self.d2h[g] = self._link(node.d2h, f"{node.d2h.kind}{g}", STAGE_SRC_LOCAL)
+                h2d = self.h2d[g] = self._link(node.h2d, f"{node.h2d.kind}{g}", STAGE_DST_LOCAL)
+                for host in (("pin", n), ("pag", n)):
+                    self._edge(("gpu", g), host, d2h)
+                    self._edge(host, ("gpu", g), h2d)
+
+            # NIC placement: per GPU (GPUDirect) or one shared per node.
+            if node.nic_per_gpu:
+                for g in gpus:
+                    out = self.nic_out[g] = self._link(spec.nic_out, f"ib_out{g}", STAGE_NIC_OUT)
+                    inn = self.nic_in[g] = self._link(spec.nic_in, f"ib_in{g}", STAGE_NIC_IN)
+                    self._edge(("gpu", g), net, out)
+                    self._edge(net, ("gpu", g), inn)
+                # Host traffic rides the node's first NIC (bootstrap NIC).
+                self._edge(("pin", n), net, self.nic_out[base])
+                self._edge(net, ("pin", n), self.nic_in[base])
+                self._edge(("pag", n), net, tx, self.nic_out[base])
+                self._edge(net, ("pag", n), self.nic_in[base], rx)
+            else:
+                out = self.nic_out[n] = self._link(spec.nic_out, f"ib_out_n{n}", STAGE_NIC_OUT)
+                inn = self.nic_in[n] = self._link(spec.nic_in, f"ib_in_n{n}", STAGE_NIC_IN)
+                # The shared NIC hangs off the host bridge: device traffic
+                # reaches it through the pinned-host port.
+                self._edge(("pin", n), net, out)
+                self._edge(net, ("pin", n), inn)
+                self._edge(("pag", n), net, tx, out)
+                self._edge(net, ("pag", n), inn, rx)
+
+    # -- search --------------------------------------------------------------
+    def search(self, src: Port, dst: Port) -> Tuple[Link, ...]:
+        """Fewest-links path ``src -> dst`` (deterministic tie-break).
+
+        Uniform-cost search over the adjacency lists; cost is the number
+        of links acquired, ties resolved by insertion order.  Same-port
+        routes use the port's self-route (HBM copy, DRAM tx/rx bounce).
+        """
+        if src == dst:
+            route = self.self_routes.get(src)
+            if route is None:
+                raise RouteSearchError(f"port {src} has no self-route")
+            return route
+        seq = 0
+        heap: List[Tuple[int, int, Port, Tuple[Link, ...]]] = [(0, 0, src, ())]
+        settled = set()
+        while heap:
+            cost, _s, port, route = heapq.heappop(heap)
+            if port in settled:
+                continue
+            settled.add(port)
+            if port == dst:
+                return route
+            for nxt, links in self.adj.get(port, ()):
+                if nxt not in settled:
+                    seq += 1
+                    heapq.heappush(heap, (cost + len(links), seq, nxt, route + links))
+        raise RouteSearchError(
+            f"no path from {src} to {dst} in machine spec {self.spec.name!r}"
+        )

@@ -1,0 +1,186 @@
+"""The declarative machine description consumed by the fabric builder.
+
+A :class:`MachineSpec` says *what the machine is* — node templates with
+their GPUs, typed link classes with latency/bandwidth, how devices within
+a node reach each other (pair mesh, shared switch, or host staging), and
+where the NICs sit (one per GPU or one per node).  It says nothing about
+*how* to route: :mod:`repro.hw.spec.graph` turns a spec into a typed link
+graph and resolves routes by graph search, so new machine shapes need no
+new routing code.
+
+The hierarchical link-acquisition order is encoded as ``stage`` ranks
+(``STAGE_*`` below).  Every route a spec can produce acquires links in
+strictly increasing stage — the deadlock-freedom invariant the property
+tests pin (tx < nic_out < nic_in < rx).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.hw.params import GH200Params
+
+# Hierarchical acquisition stages.  A route's links are strictly
+# increasing in stage, so concurrent transfers cannot deadlock on port
+# acquisition (they all climb the same ladder).
+STAGE_HOSTMEM_TX = 0   # source-side pageable-memory read port
+STAGE_SRC_LOCAL = 1    # hbm self-copy / device->host egress (c2c, pcie)
+STAGE_D2D = 2          # direct pair link or switch up-port
+STAGE_SWITCH_DOWN = 3  # switch down-port
+STAGE_NIC_OUT = 3      # NIC egress onto the inter-node wire
+STAGE_NIC_IN = 4       # NIC ingress from the wire
+STAGE_DST_LOCAL = 5    # host->device ingress (c2c, pcie)
+STAGE_HOSTMEM_RX = 6   # destination-side pageable-memory write port
+
+
+class SpecError(ValueError):
+    """An inconsistent or unbuildable machine description."""
+
+
+class Interconnect(enum.Enum):
+    """How a node's devices reach each other (intra-node D2D)."""
+
+    PAIR_MESH = "pair-mesh"      # a dedicated link per ordered GPU pair (GH200 NVLink)
+    SWITCH = "switch"            # per-GPU ports into a shared switch (DGX NVSwitch)
+    HOST_STAGED = "host-staged"  # no P2P: D2D bounces through host memory (PCIe)
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """A typed class of links: telemetry kind + latency/bandwidth."""
+
+    kind: str
+    bandwidth: float       # bytes/s, per direction
+    latency: float         # seconds, first-byte
+    overhead: float = 0.0  # fixed per-message port occupancy
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise SpecError("LinkClass needs a non-empty kind")
+        if self.bandwidth <= 0:
+            raise SpecError(f"link class {self.kind!r}: bandwidth must be positive")
+        if self.latency < 0 or self.overhead < 0:
+            raise SpecError(f"link class {self.kind!r}: negative latency/overhead")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Per-device constants; ``None`` inherits the node/model default."""
+
+    sm_count: Optional[int] = None   # overrides CostModel.sm_count
+    hbm_bw: Optional[float] = None   # overrides the HBM self-link bandwidth
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node template: GPUs, intra-node wiring, NIC placement."""
+
+    gpus: Tuple[GpuSpec, ...]
+    interconnect: Interconnect
+    hbm: LinkClass                 # per-GPU local-copy port
+    d2h: LinkClass                 # device -> host (C2C down, PCIe d2h)
+    h2d: LinkClass                 # host -> device (C2C up, PCIe h2d)
+    hostmem: LinkClass             # pageable host memory port (tx/rx pair)
+    d2d: Optional[LinkClass] = None  # pair link / switch port; None = host-staged
+    nic_per_gpu: bool = True       # False: one shared NIC per node
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise SpecError("NodeSpec needs at least one GPU")
+        needs_d2d = self.interconnect in (Interconnect.PAIR_MESH, Interconnect.SWITCH)
+        if needs_d2d and self.d2d is None:
+            raise SpecError(f"{self.interconnect.value} interconnect needs a d2d link class")
+        if self.interconnect is Interconnect.HOST_STAGED and self.d2d is not None:
+            raise SpecError("host-staged interconnect must not define a d2d link class")
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The whole machine: node templates + the inter-node fabric."""
+
+    name: str
+    nodes: Tuple[NodeSpec, ...]
+    nic_out: LinkClass
+    nic_in: LinkClass
+    params: GH200Params = field(default_factory=GH200Params)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("MachineSpec needs a name")
+        if not self.nodes:
+            raise SpecError("MachineSpec needs at least one node")
+
+    # -- shape queries (Topology delegates here) -----------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_gpus(self) -> int:
+        return sum(n.n_gpus for n in self.nodes)
+
+    @property
+    def uniform_gpus_per_node(self) -> Optional[int]:
+        counts = {n.n_gpus for n in self.nodes}
+        return counts.pop() if len(counts) == 1 else None
+
+    def gpu_base(self, node: int) -> int:
+        """Global index of ``node``'s first GPU."""
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} out of range (n_nodes={self.n_nodes})")
+        return sum(n.n_gpus for n in self.nodes[:node])
+
+    def node_of(self, gpu: int) -> int:
+        if not 0 <= gpu < self.n_gpus:
+            raise IndexError(f"gpu {gpu} out of range (n_gpus={self.n_gpus})")
+        base = 0
+        for idx, node in enumerate(self.nodes):
+            if gpu < base + node.n_gpus:
+                return idx
+            base += node.n_gpus
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def node_spec_of(self, gpu: int) -> NodeSpec:
+        return self.nodes[self.node_of(gpu)]
+
+    def gpu_spec(self, gpu: int) -> GpuSpec:
+        node = self.node_of(gpu)
+        return self.nodes[node].gpus[gpu - self.gpu_base(node)]
+
+    # -- peer capability -----------------------------------------------------
+    def can_peer_map(self, a: int, b: int) -> bool:
+        """May GPU ``a`` map GPU ``b``'s memory (cudaIpcOpenMemHandle)?
+
+        True only for same-node peers whose interconnect provides device
+        P2P (pair mesh or switch).  Host-staged (no-P2P PCIe) nodes cannot
+        peer-map even within the node — the capability the sanitizer's
+        ipc-misuse check and the UCX cuda_ipc transport selection key on.
+        """
+        if a == b:
+            return True
+        node = self.node_of(a)
+        if node != self.node_of(b):
+            return False
+        return self.nodes[node].interconnect is not Interconnect.HOST_STAGED
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` on inconsistency (dataclass hooks catch
+        most; this re-checks cross-field invariants for loaded specs)."""
+        for node in self.nodes:
+            NodeSpec.__post_init__(node)
+            for cls in (node.hbm, node.d2h, node.h2d, node.hostmem) + (
+                (node.d2d,) if node.d2d is not None else ()
+            ):
+                LinkClass.__post_init__(cls)
+        LinkClass.__post_init__(self.nic_out)
+        LinkClass.__post_init__(self.nic_in)
+
+    def with_params(self, **kw) -> "MachineSpec":
+        """Copy with software/protocol constants overridden (ablations)."""
+        return replace(self, params=self.params.with_overrides(**kw))

@@ -1,66 +1,89 @@
-"""Testbed topology and the Fabric route/transfer facade.
+"""Machine topology and the Fabric route/transfer facade.
 
-The :class:`Topology` mirrors the paper's testbed (Section V): ``n_nodes``
-nodes, each with ``gpus_per_node`` GH200 superchips.  Within a node every
-GPU pair is NVLink-connected (6 links -> one 150 GB/s channel per direction
-per pair); each superchip couples its Grace CPU and Hopper GPU over
-NVLink-C2C; each superchip owns one ConnectX-7 NIC to the inter-node fabric.
+:class:`Topology` answers shape queries (which node owns a GPU, who is a
+peer) over a :class:`~repro.hw.spec.schema.MachineSpec` — or over a legacy
+:class:`~repro.hw.params.TestbedConfig`, which is coerced to the canonical
+GH200 spec (paper Section V: ``n_nodes`` nodes of NVLink-meshed GH200
+superchips with one ConnectX-7 NIC each).
 
-:class:`Fabric` instantiates one :class:`~repro.hw.links.Link` per direction
-per channel and resolves a route for any (source buffer, destination buffer)
-pair, then runs transfers with real payload copies.
+:class:`Fabric` compiles the spec into a typed link graph
+(:class:`~repro.hw.spec.graph.LinkGraph`), resolves a route for any
+(source buffer, destination buffer) pair by graph search — memoized per
+(src-port, dst-port) in a route cache, so the hot transfer path never
+re-searches — and runs transfers with real payload copies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.hw.links import Link, start_transfer
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.params import TestbedConfig
+from repro.hw.spec.catalog import as_spec
+from repro.hw.spec.graph import LinkGraph, Port, RouteSearchError
+from repro.hw.spec.schema import MachineSpec
 from repro.sim.engine import Engine
 from repro.sim.events import Event
-from repro.units import us
 
-#: Global GPU index (0 .. n_gpus-1); node-local index is ``gpu % gpus_per_node``.
+#: Global GPU index (0 .. n_gpus-1); node-local index is position on the node.
 GpuId = int
 
+#: Anything that describes a machine: a declarative spec or the legacy config.
+MachineLike = Union[MachineSpec, TestbedConfig]
 
-@dataclass(frozen=True)
+
 class Topology:
-    """Pure shape queries over a :class:`TestbedConfig`."""
+    """Pure shape and capability queries over a machine description."""
 
-    config: TestbedConfig
+    def __init__(self, config: MachineLike) -> None:
+        self.config = config
+        self.spec = as_spec(config)
 
     @property
     def n_nodes(self) -> int:
-        return self.config.n_nodes
+        return self.spec.n_nodes
 
     @property
     def gpus_per_node(self) -> int:
-        return self.config.gpus_per_node
+        uniform = self.spec.uniform_gpus_per_node
+        if uniform is None:
+            raise ValueError(
+                f"machine {self.spec.name!r} has heterogeneous nodes; "
+                "use gpus_on_node(node) instead"
+            )
+        return uniform
 
     @property
     def n_gpus(self) -> int:
-        return self.config.n_gpus
+        return self.spec.n_gpus
 
     def node_of(self, gpu: GpuId) -> int:
         self._check(gpu)
-        return gpu // self.gpus_per_node
+        return self.spec.node_of(gpu)
 
     def local_index(self, gpu: GpuId) -> int:
         self._check(gpu)
-        return gpu % self.gpus_per_node
+        return gpu - self.spec.gpu_base(self.spec.node_of(gpu))
 
     def same_node(self, a: GpuId, b: GpuId) -> bool:
         return self.node_of(a) == self.node_of(b)
 
+    def can_peer_map(self, a: GpuId, b: GpuId) -> bool:
+        """May GPU ``a`` map GPU ``b``'s memory (cudaIpcOpenMemHandle)?
+
+        Derived from the spec's interconnect, not from node distance: a
+        host-staged (no-P2P PCIe) node refuses even same-node mappings.
+        """
+        self._check(a)
+        self._check(b)
+        return self.spec.can_peer_map(a, b)
+
     def gpus_on_node(self, node: int) -> List[GpuId]:
         if not 0 <= node < self.n_nodes:
             raise IndexError(f"node {node} out of range (n_nodes={self.n_nodes})")
-        base = node * self.gpus_per_node
-        return list(range(base, base + self.gpus_per_node))
+        base = self.spec.gpu_base(node)
+        return list(range(base, base + self.spec.nodes[node].n_gpus))
 
     def _check(self, gpu: GpuId) -> None:
         if not 0 <= gpu < self.n_gpus:
@@ -72,46 +95,35 @@ class RouteError(Exception):
 
 
 class Fabric:
-    """All links of the testbed plus route resolution and transfers."""
+    """All links of one machine plus route resolution and transfers."""
 
-    def __init__(self, engine: Engine, config: TestbedConfig) -> None:
+    def __init__(self, engine: Engine, config: MachineLike) -> None:
         self.engine = engine
         self.config = config
+        self.spec = as_spec(config)
         self.topo = Topology(config)
-        p = config.params
+        self.graph = LinkGraph(engine, self.spec)
+        #: (src-port, dst-port) -> resolved link tuple; hit on every
+        #: transfer after the first between a location pair.
+        self._route_cache: Dict[Tuple[Port, Port], Tuple[Link, ...]] = {}
+        #: Number of cache-miss route computations (asserted by tests).
+        self.route_computations = 0
 
-        # Per-GPU HBM port (local device copies).
-        self.hbm: Dict[GpuId, Link] = {
-            g: Link(engine, f"hbm{g}", p.hbm_bw, 0.05 * us) for g in range(self.topo.n_gpus)
-        }
-        # NVLink: one link per *ordered* intra-node GPU pair.
-        self.nvlink: Dict[Tuple[GpuId, GpuId], Link] = {}
-        for node in range(self.topo.n_nodes):
-            gpus = self.topo.gpus_on_node(node)
-            for a in gpus:
-                for b in gpus:
-                    if a != b:
-                        self.nvlink[(a, b)] = Link(
-                            engine, f"nvl{a}->{b}", p.nvlink_bw, p.nvlink_latency
-                        )
-        # C2C per superchip, per direction.
-        self.c2c_h2d: Dict[GpuId, Link] = {
-            g: Link(engine, f"c2c_h2d{g}", p.c2c_bw, p.c2c_latency)
-            for g in range(self.topo.n_gpus)
-        }
-        self.c2c_d2h: Dict[GpuId, Link] = {
-            g: Link(engine, f"c2c_d2h{g}", p.c2c_bw, p.c2c_latency)
-            for g in range(self.topo.n_gpus)
-        }
-        # One NIC per superchip; egress/ingress links onto the IB fabric.
-        self.nic_out: Dict[GpuId, Link] = {
-            g: Link(engine, f"ib_out{g}", p.ib_bw, p.ib_latency / 2)
-            for g in range(self.topo.n_gpus)
-        }
-        self.nic_in: Dict[GpuId, Link] = {
-            g: Link(engine, f"ib_in{g}", p.ib_bw, p.ib_latency / 2)
-            for g in range(self.topo.n_gpus)
-        }
+        # Structured link registries (views into the graph's registries;
+        # keyed and named exactly like the original hard-coded testbed).
+        self.hbm: Dict[GpuId, Link] = self.graph.hbm
+        self.nvlink: Dict[Tuple[GpuId, GpuId], Link] = self.graph.d2d
+        self.switch_up: Dict[GpuId, Link] = self.graph.switch_up
+        self.switch_down: Dict[GpuId, Link] = self.graph.switch_down
+        self.d2h: Dict[GpuId, Link] = self.graph.d2h
+        self.h2d: Dict[GpuId, Link] = self.graph.h2d
+        self.c2c_d2h: Dict[GpuId, Link] = self.graph.d2h  # legacy GH200 alias
+        self.c2c_h2d: Dict[GpuId, Link] = self.graph.h2d  # legacy GH200 alias
+        self.nic_out: Dict[int, Link] = self.graph.nic_out
+        self.nic_in: Dict[int, Link] = self.graph.nic_in
+        self.hostmem_tx: Dict[int, Link] = self.graph.hostmem_tx
+        self.hostmem_rx: Dict[int, Link] = self.graph.hostmem_rx
+
         # Copy engine per GPU: host-initiated peer copies (UCX cuda_ipc
         # puts = cuMemcpyDtoDAsync) serialize through it with a per-op
         # setup cost, which caps their aggregate NVLink efficiency below
@@ -121,58 +133,54 @@ class Fabric:
         self.copy_engine: Dict[GpuId, Resource] = {
             g: Resource(engine, capacity=1) for g in range(self.topo.n_gpus)
         }
-        # Host memory ports per node, direction-specific (tx = source-side
-        # read, rx = destination-side write).  Direction-specific links keep
-        # every route's acquisition order hierarchical (tx < nic_out <
-        # nic_in < rx), which makes concurrent transfers deadlock-free.
-        self.hostmem_tx: Dict[int, Link] = {
-            n: Link(engine, f"hostmem_tx{n}", p.host_mem_bw, 0.05 * us)
-            for n in range(self.topo.n_nodes)
-        }
-        self.hostmem_rx: Dict[int, Link] = {
-            n: Link(engine, f"hostmem_rx{n}", p.host_mem_bw, 0.05 * us)
-            for n in range(self.topo.n_nodes)
-        }
+
+    # -- link registry ---------------------------------------------------------
+    def iter_links(self):
+        """Every link of the machine, in registration order."""
+        return iter(self.graph.links)
+
+    def link_kinds(self) -> List[str]:
+        """Distinct link kinds, in first-registration order."""
+        seen: Dict[str, None] = {}
+        for link in self.graph.links:
+            seen.setdefault(link.kind, None)
+        return list(seen)
+
+    def d2h_link(self, gpu: GpuId) -> Link:
+        """The device->host egress link of ``gpu`` (C2C down / PCIe d2h).
+
+        Device-thread flag stores into pinned host memory serialize here.
+        """
+        return self.graph.d2h[gpu]
 
     # -- route resolution ------------------------------------------------------
-    def route(self, src: Buffer, dst: Buffer) -> List[Link]:
-        """Resolve the link path for a payload from ``src`` to ``dst``.
+    @staticmethod
+    def _endpoint(buf: Buffer) -> Port:
+        space, node, gpu = buf.location()
+        if space in (MemSpace.DEVICE, MemSpace.UNIFIED) and gpu is not None:
+            return ("gpu", gpu)
+        if space is MemSpace.HOST:
+            return ("pag", node)
+        return ("pin", node)
 
-        The NIC used for an inter-node hop is the one belonging to the
-        source/destination superchip (GPUDirect-RDMA-style: device memory
-        moves straight through the local NIC without host staging).
+    def route(self, src: Buffer, dst: Buffer) -> Tuple[Link, ...]:
+        """Resolve (or fetch the cached) link path from ``src`` to ``dst``.
+
+        The NIC used for an inter-node hop is the one the spec attaches to
+        the source/destination location (GPUDirect-RDMA-style per-GPU NICs
+        move device memory without host staging; a shared node NIC funnels
+        everything through the host bridge).
         """
-        s_space, s_node, s_gpu = src.location()
-        d_space, d_node, d_gpu = dst.location()
-
-        s_dev = s_space in (MemSpace.DEVICE, MemSpace.UNIFIED) and s_gpu is not None
-        d_dev = d_space in (MemSpace.DEVICE, MemSpace.UNIFIED) and d_gpu is not None
-
-        if s_node == d_node:
-            if s_dev and d_dev:
-                if s_gpu == d_gpu:
-                    return [self.hbm[s_gpu]]
-                key = (s_gpu, d_gpu)
-                if key not in self.nvlink:
-                    raise RouteError(f"no NVLink between gpus {s_gpu} and {d_gpu}")
-                return [self.nvlink[key]]
-            if s_dev and not d_dev:
-                return [self.c2c_d2h[s_gpu]]
-            if not s_dev and d_dev:
-                return [self.c2c_h2d[d_gpu]]
-            return [self.hostmem_tx[s_node], self.hostmem_rx[d_node]]
-
-        # inter-node
-        out_nic = self.nic_out[s_gpu] if s_dev else self.nic_out[self.topo.gpus_on_node(s_node)[0]]
-        in_nic = self.nic_in[d_gpu] if d_dev else self.nic_in[self.topo.gpus_on_node(d_node)[0]]
-        route: List[Link] = []
-        if not s_dev and s_space is MemSpace.HOST:
-            route.append(self.hostmem_tx[s_node])
-        route.append(out_nic)
-        route.append(in_nic)
-        if not d_dev and d_space is MemSpace.HOST:
-            route.append(self.hostmem_rx[d_node])
-        return route
+        key = (self._endpoint(src), self._endpoint(dst))
+        cached = self._route_cache.get(key)
+        if cached is None:
+            self.route_computations += 1
+            try:
+                cached = self.graph.search(*key)
+            except RouteSearchError as exc:
+                raise RouteError(str(exc)) from exc
+            self._route_cache[key] = cached
+        return cached
 
     # -- transfers --------------------------------------------------------------
     def transfer(self, src: Buffer, dst: Buffer, name: str = "xfer") -> Event:
@@ -198,17 +206,20 @@ class Fabric:
     def host_initiated_transfer(self, src: Buffer, dst: Buffer, name: str = "hxfer") -> Event:
         """A transfer issued by *host* software (UCX put, MPI rendezvous).
 
-        Intra-node device-to-device payloads ride the cuda_ipc path: a
-        host-mediated async copy through the source GPU's copy engine,
-        paying the per-op setup cost — the mechanism the Kernel-Copy
-        design bypasses (paper Section IV-A4).  Everything else (host
-        buffers, same-GPU, inter-node GPUDirect) is a plain transfer.
+        Device-to-device payloads between peers that can IPC-map each
+        other ride the cuda_ipc path: a host-mediated async copy through
+        the source GPU's copy engine, paying the per-op setup cost — the
+        mechanism the Kernel-Copy design bypasses (paper Section IV-A4).
+        Everything else (host buffers, same-GPU, inter-node GPUDirect,
+        no-P2P staging) is a plain transfer.
         """
         cuda_ipc = (
             src.space is MemSpace.DEVICE
             and dst.space is MemSpace.DEVICE
-            and src.node == dst.node
             and src.gpu != dst.gpu
+            and src.gpu is not None
+            and dst.gpu is not None
+            and self.topo.can_peer_map(src.gpu, dst.gpu)
         )
         if not cuda_ipc:
             return self.transfer(src, dst, name=name)

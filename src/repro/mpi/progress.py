@@ -154,8 +154,9 @@ class ProgressEngine:
             )
             yield rt.fabric.transfer(buf, bounce, name="rndv_d2h")
             buf = bounce
-        # Host-initiated: intra-node D2D pays the cuda_ipc copy-engine
-        # path, same as the partitioned layer's puts (fair baseline).
+        # Host-initiated: a peer-mappable D2D pair pays the cuda_ipc
+        # copy-engine path, same as the partitioned layer's puts (fair
+        # baseline); otherwise the fabric stages through host links.
         yield rt.fabric.host_initiated_transfer(buf, env.target, name="rndv_data")
         sreq._complete({"protocol": "rndv"})
         ep = yield from rt.ep_to(comm, sreq.dest)

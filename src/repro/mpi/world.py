@@ -23,8 +23,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cuda.device import Device
 from repro.cuda.timing import CostModel
-from repro.hw.params import PAPER_TESTBED, TestbedConfig
-from repro.hw.topology import Fabric
+from repro.hw.params import PAPER_TESTBED
+from repro.hw.topology import Fabric, MachineLike
 from repro.mpi.comm import CommGroup, Communicator
 from repro.mpi.errors import MpiUsageError
 from repro.mpi.runtime import MpiRuntime
@@ -96,7 +96,7 @@ class World:
 
     def __init__(
         self,
-        config: TestbedConfig = PAPER_TESTBED,
+        config: MachineLike = PAPER_TESTBED,
         cost: Optional[CostModel] = None,
         trace: bool = False,
     ) -> None:
@@ -108,9 +108,11 @@ class World:
         self.config = config
         self.engine = Engine(trace=trace)
         self.fabric = Fabric(self.engine, config)
-        self.cost = cost or CostModel()
+        # An explicit cost model applies to every device; otherwise each
+        # device derives its own from the machine spec's per-GPU constants.
+        self.cost = cost
         self.devices: List[Device] = [
-            Device(self.fabric, g, self.cost) for g in range(config.n_gpus)
+            Device(self.fabric, g, cost) for g in range(self.fabric.topo.n_gpus)
         ]
         self._addresses: Dict[int, WorkerAddress] = {}
         self._comm_ids = itertools.count(0)
@@ -168,11 +170,11 @@ class World:
         Returns each rank's return value, ordered by rank.  ``args`` are
         passed through to ``main(ctx, *args)``.
         """
-        nprocs = nprocs if nprocs is not None else self.config.n_gpus
-        if not 1 <= nprocs <= self.config.n_gpus:
+        n_gpus = self.fabric.topo.n_gpus
+        nprocs = nprocs if nprocs is not None else n_gpus
+        if not 1 <= nprocs <= n_gpus:
             raise MpiUsageError(
-                f"nprocs {nprocs} out of range 1..{self.config.n_gpus} "
-                "(one rank per GPU)"
+                f"nprocs {nprocs} out of range 1..{n_gpus} (one rank per GPU)"
             )
         self._nprocs = nprocs
         self._boot_counter = Counter(self.engine)

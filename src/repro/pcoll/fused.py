@@ -102,11 +102,14 @@ class FusedPallreduce(PersistentRequest):
             raise MpiUsageError("the fused collective is in-place (sendbuf is recvbuf)")
         topo = comm.rt.fabric.topo
         peers = [comm.world_rank_of(r) for r in range(comm.size)]
-        if len({topo.node_of(comm.rt.world.devices[p].gpu_id) for p in peers}) != 1:
+        peer_gpus = [comm.rt.world.devices[p].gpu_id for p in peers]
+        if not all(
+            topo.can_peer_map(a, b) for a in peer_gpus for b in peer_gpus
+        ):
             raise MpiUsageError(
-                "fused pallreduce requires an NVLink-reachable clique "
-                "(all ranks on one node); use the progression-engine "
-                "collective across nodes"
+                "fused pallreduce requires a peer-mappable clique "
+                "(all ranks NVLink/switch-reachable on one node); use "
+                "the progression-engine collective otherwise"
             )
         self.comm = comm
         self.buf = recvbuf

@@ -8,7 +8,7 @@ Checks (ids listed by ``python -m repro san --list-checks``):
 ``wallclock``
     No ``time.time``/``monotonic``/``perf_counter``, ``datetime.now``,
     ``random.*`` or ``numpy.random`` inside the deterministic core
-    (``src/repro/{sim,cuda,partitioned,mpi}``).  The engine's determinism
+    (``src/repro/{sim,cuda,partitioned,mpi,hw}``).  The engine's determinism
     contract (``sim/engine.py``) forbids wall-clock and ambient RNG.
 ``raw-units``
     Numeric literals that *are* unit constants (``1e-3``, ``1e-6``,
@@ -31,12 +31,12 @@ from typing import Iterable, List, Optional, Sequence
 from repro.san.checks import CheckInfo
 
 #: Packages whose modules the scoped checks apply to.
-CORE_PACKAGES = ("sim", "cuda", "partitioned", "mpi")
+CORE_PACKAGES = ("sim", "cuda", "partitioned", "mpi", "hw")
 
 STATIC_CHECKS = {
     "wallclock": CheckInfo(
         "wallclock", "static",
-        "no wall-clock / ambient randomness in src/repro/{sim,cuda,partitioned,mpi}",
+        "no wall-clock / ambient randomness in src/repro/{sim,cuda,partitioned,mpi,hw}",
     ),
     "raw-units": CheckInfo(
         "raw-units", "static",

@@ -53,9 +53,10 @@ class UcpEndpoint:
             )
         dst_view = target.view(offset_elems, len(src.data))
         self.puts_issued += 1
-        # Transport selection happens in the fabric: intra-node D2D puts
-        # ride the host-mediated cuda_ipc copy engine, everything else
-        # goes direct (shm / rc_verbs GPUDirect).
+        # Transport selection happens in the fabric: D2D puts between
+        # peers that can IPC-map each other ride the host-mediated
+        # cuda_ipc copy engine, everything else goes direct (shm /
+        # rc_verbs GPUDirect / host-staged bounce on no-P2P machines).
         done = self.fabric.host_initiated_transfer(
             src, dst_view, name=f"put[{self.worker.name}]"
         )

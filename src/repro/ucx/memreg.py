@@ -93,7 +93,8 @@ def rkey_ptr(worker, rkey: RemoteKey, opener_gpu: int):
     Returns a device-visible Buffer mapped to the remote GPU allocation so
     a kernel can store into it directly (the paper's UCX modification of
     ``uct_cuda_ipc_rkey_ptr`` using ``cuIpcOpenMemHandle``).  Only valid
-    when the target is device memory on the same node.
+    when the target is device memory the opener can peer-map (same node,
+    P2P-capable interconnect).
     """
     target = rkey.target
     if target.space is not MemSpace.DEVICE:

@@ -52,3 +52,16 @@ def test_fig3_ratio_constants():
     warp = 32 * p.flag_write_host + p.flag_write_base
     assert 240 < thread / block < 300       # paper: 271.5x
     assert 8 < warp / block < 11            # paper: 9.4x
+
+
+def test_config_spec_roundtrip():
+    """TestbedConfig.spec() is the canonical GH200 spec with the same
+    shape and constants."""
+    spec = PAPER_TESTBED.spec()
+    assert spec.name == "gh200-2x4"
+    assert spec.n_gpus == PAPER_TESTBED.n_gpus
+    assert spec.params is PAPER_TESTBED.params
+    tuned = PAPER_TESTBED.with_overrides(
+        params=PAPER_TESTBED.params.with_overrides(ib_latency=10 * us)
+    )
+    assert tuned.spec().params.ib_latency == pytest.approx(10 * us)

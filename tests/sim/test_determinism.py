@@ -1,11 +1,15 @@
 """The determinism contract: identical configs replay identical event
 streams, guarding the engine's ``(time, priority, seq)`` heap tie-break."""
 
+import hashlib
+
 import numpy as np
+import pytest
 
 from repro.cuda.kernel import BlockKernel
 from repro.cuda.timing import WorkSpec
-from repro.hw.params import ONE_NODE
+from repro.hw.params import ONE_NODE, TestbedConfig
+from repro.hw.spec import gh200_spec
 from repro.mpi.world import World
 from repro.partitioned import device as pdev
 from repro.partitioned.aggregation import AggregationSpec, SignalMode
@@ -77,3 +81,33 @@ def test_sanitized_trace_is_byte_identical():
     first, second = trace_bytes(), trace_bytes()
     assert first == second
     assert len(first) > 0
+
+
+# Trace digests captured on the seed's hard-coded GH200 fabric, *before*
+# the spec/graph-routing refactor.  The spec-built fabric must replay the
+# exact same sanitized trace: the GH200 spec is a re-expression of the
+# testbed, not a new machine.
+_SEED_TRACES = {
+    "one-node": "1c2027dffd6568bcd2ed94f2ab11c0c6e5ba3672eb561ad3a3a5f73e5ecb15b9",
+    "two-node": "266920291c7279e88a131ad426dab16eef04061f20af149f2ec0d7a681c4ac3e",
+}
+
+
+@pytest.mark.parametrize(
+    "config,key",
+    [
+        (ONE_NODE, "one-node"),
+        (TestbedConfig(n_nodes=2, gpus_per_node=1), "two-node"),
+        (gh200_spec(1, 4), "one-node"),
+        (gh200_spec(2, 1), "two-node"),
+    ],
+    ids=["legacy-1x4", "legacy-2x1", "spec-1x4", "spec-2x1"],
+)
+def test_gh200_spec_trace_matches_pre_refactor_seed(config, key):
+    """Legacy configs and the equivalent MachineSpecs replay the seed's
+    byte-exact sanitized trace for a partitioned ping-pong."""
+    with Sanitizer() as san:
+        _workload(World(config))
+    assert san.report.ok
+    digest = hashlib.sha256(san.trace_bytes()).hexdigest()
+    assert digest == _SEED_TRACES[key]
