@@ -10,6 +10,18 @@ PYTHONPATH=src python -m pytest -x -q -m "not smoke"
 echo "== benchmark smoke (one small-grid point per paper figure) =="
 PYTHONPATH=src python -m pytest -x -q -m smoke
 
+echo "== profile smoke (Chrome trace_event export) =="
+PYTHONPATH=src python -m repro profile examples/pingpong_partitioned.py \
+    --chrome /tmp/repro_trace.json
+PYTHONPATH=src python - <<'EOF'
+import json
+from repro.obs.chrome import validate_trace
+obj = json.load(open("/tmp/repro_trace.json"))
+validate_trace(obj)
+assert len(obj["traceEvents"]) > 100, "suspiciously small trace"
+print(f"profile smoke: {len(obj['traceEvents'])} valid trace events")
+EOF
+
 echo "== repo-invariant lint (scripts/lint_repro.py) =="
 python scripts/lint_repro.py src/repro
 

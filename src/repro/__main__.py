@@ -8,6 +8,7 @@
     python -m repro san --list-checks
     python -m repro topo <spec>          # print/validate a machine spec
     python -m repro topo --list
+    python -m repro profile <script> --chrome out.json --util --critical-path
 """
 
 from __future__ import annotations
@@ -28,6 +29,10 @@ def main(argv=None) -> int:
         from repro.hw.spec.cli import main as topo_main
 
         return topo_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.obs.cli import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

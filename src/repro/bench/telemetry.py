@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.hw.topology import Fabric
+from repro.obs.bus import SPAN
 
 
 @dataclass
@@ -28,9 +29,18 @@ class FabricSnapshot:
     classes: Dict[str, LinkStats] = field(default_factory=dict)
 
     def delta(self, later: "FabricSnapshot") -> "FabricSnapshot":
+        """Per-class difference ``later - self`` over the union of classes.
+
+        Classes present only in ``self`` (e.g. snapshots taken on different
+        machines) show up with negative deltas instead of silently
+        vanishing; order is ``later``'s, then leftovers of ``self``.
+        """
         out = FabricSnapshot()
-        for name, after in later.classes.items():
+        names = list(later.classes)
+        names += [n for n in self.classes if n not in later.classes]
+        for name in names:
             before = self.classes.get(name, LinkStats())
+            after = later.classes.get(name, LinkStats())
             out.classes[name] = LinkStats(
                 bytes=after.bytes - before.bytes,
                 transfers=after.transfers - before.transfers,
@@ -65,3 +75,23 @@ def report(fabric: Fabric) -> str:
     for name, st in snap.classes.items():
         lines.append(f"{name:<12} {fmt_bytes(st.bytes):<12} {st.transfers}")
     return "\n".join(lines)
+
+
+class LinkFlowCounters:
+    """Obs-bus subscriber deriving the per-class counters from link spans.
+
+    Subscribed to the same bus a run publishes on, its snapshot equals
+    ``snapshot(fabric).delta(...)`` over the subscription window — the
+    event stream and the in-place link counters are the same accounting
+    (see ``Link.account``), which tests assert.
+    """
+
+    def __init__(self) -> None:
+        self.snap = FabricSnapshot()
+
+    def on_event(self, ev) -> None:
+        if ev.kind != SPAN or ev.cat != "link":
+            return
+        st = self.snap.classes.setdefault(ev.get("kind", ev.name), LinkStats())
+        st.bytes += ev.get("nbytes", 0)
+        st.transfers += ev.get("transfers", 1)

@@ -58,9 +58,9 @@ def host_flag_write_proc(
     hw = device.fabric.config.params
     link = device.fabric.d2h_link(device.gpu_id)
     yield link.port.acquire()
+    t0 = device.engine.now
     yield device.engine.timeout(n_writes * hw.flag_write_host)
-    link.n_transfers += n_writes
-    link.bytes_carried += 8 * n_writes
+    link.account(8 * n_writes, t0, transfers=n_writes)
     link.port.release()
     yield device.engine.timeout(hw.flag_write_base)
     if actor is not None:

@@ -86,6 +86,13 @@ class Device:
         """
         kernel.validate(self.cost)
         stream = stream or self.default_stream
+        obs = self.engine.obs
+        if obs is not None:
+            obs.instant(
+                "cuda", "launch", ("host", self.gpu_id),
+                kernel=kernel.name, grid=kernel.grid, block=kernel.block,
+                stream=stream.name,
+            )
         return stream.enqueue(lambda: self._exec_kernel(kernel, stream), label=kernel.name)
 
     def launch_h(self, kernel: KernelBase, stream=None) -> Generator:
@@ -96,9 +103,16 @@ class Device:
     def sync_h(self, stream=None) -> Generator:
         """``cudaStreamSynchronize``: block until drained + fixed API cost."""
         stream = stream or self.default_stream
+        obs = self.engine.obs
+        t0 = self.engine.now
         yield stream.drained()
         record.acquire(("host", self.gpu_id), ("drain", stream.name))
         yield self.engine.timeout(self.cost.stream_sync_cost)
+        if obs is not None:
+            obs.span(
+                "cuda", "sync", ("host", self.gpu_id),
+                t0, self.engine.now, stream=stream.name,
+            )
 
     def device_sync_h(self) -> Generator:
         """``cudaDeviceSynchronize`` over this device's default stream."""
@@ -124,6 +138,8 @@ class Device:
     def _exec_kernel(self, kernel: KernelBase, stream=None) -> Generator:
         launcher = stream.actor if stream is not None else ("host", self.gpu_id)
         yield self.engine.timeout(self.cost.launch_latency)
+        obs = self.engine.obs
+        t0 = self.engine.now
         record.release(launcher, ("kstart", id(kernel)))
         if kernel.apply is not None:
             # Materialize the kernel's numerical result now (see kernel.py
@@ -136,6 +152,11 @@ class Device:
             yield from self._exec_blocks(kernel)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown kernel flavour: {type(kernel).__name__}")
+        if obs is not None:
+            obs.span(
+                "kernel", kernel.name, ("gpu", self.name),
+                t0, self.engine.now, grid=kernel.grid, block=kernel.block,
+            )
         record.acquire(launcher, ("kdone", id(kernel)))
 
     def _exec_uniform(self, kernel: UniformKernel) -> Generator:
@@ -154,7 +175,9 @@ class Device:
 
     def _exec_blocks(self, kernel: BlockKernel) -> Generator:
         resident = self.cost.resident_blocks(kernel.block)
-        slots = Resource(self.engine, capacity=min(resident, kernel.grid))
+        slots = Resource(
+            self.engine, capacity=min(resident, kernel.grid), name=f"{self.name}.sm"
+        )
 
         def run_block(block_id: int):
             yield slots.acquire()

@@ -55,6 +55,9 @@ class Stream:
         record.release(("host", self.device.gpu_id), ("enq", id(done)))
         self._outstanding += 1
         self._ops.put(StreamOp(run, done, label))
+        obs = self.engine.obs
+        if obs is not None:
+            obs.counter("stream", self.name, depth=self._outstanding)
         return done
 
     # -- draining ----------------------------------------------------------------
@@ -86,6 +89,8 @@ class Stream:
         while True:
             op: StreamOp = yield self._ops.get()
             record.acquire(self.actor, ("enq", id(op.done)))
+            obs = self.engine.obs
+            t0 = self.engine.now
             try:
                 result = yield self.engine.process(op.run(), name=f"{self.name}.{op.label}")
             except Exception as exc:  # noqa: BLE001 - fail just this op's waiters
@@ -97,6 +102,9 @@ class Stream:
                 self._notify_drained()
                 continue
             self._outstanding -= 1
+            if obs is not None:
+                obs.span("stream", op.label, self.actor, t0, self.engine.now)
+                obs.counter("stream", self.name, depth=self._outstanding)
             record.release(self.actor, ("opdone", id(op.done)))
             op.done.succeed(result)
             self._notify_drained()

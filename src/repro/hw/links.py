@@ -71,12 +71,29 @@ class Link:
         self.overhead = overhead
         self.kind = kind or name
         self.stage = stage
-        self.port = Resource(engine, capacity=1)
+        self.port = Resource(engine, capacity=1, name=f"{name}.port")
         self.bytes_carried = 0
         self.n_transfers = 0
 
     def serialization_time(self, nbytes: int) -> float:
         return self.overhead + nbytes / self.bandwidth
+
+    def account(self, nbytes: int, t0: Optional[float] = None, transfers: int = 1) -> None:
+        """Count ``nbytes`` carried (telemetry) and publish the busy span.
+
+        ``t0`` is when the payload started occupying the link (defaults to
+        now, i.e. a zero-length span for instantaneous accounting).
+        """
+        self.bytes_carried += nbytes
+        self.n_transfers += transfers
+        obs = self.engine.obs
+        if obs is not None:
+            now = self.engine.now
+            obs.span(
+                "link", self.name, None,
+                now if t0 is None else t0, now,
+                kind=self.kind, nbytes=nbytes, transfers=transfers,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} bw={self.bandwidth:.3g}B/s lat={self.latency:.3g}s>"
@@ -107,12 +124,13 @@ def transfer_process(
     ser = max(link.overhead for link in route) + nbytes / bottleneck
     total_latency = sum(link.latency for link in route)
 
+    t_held = []
     for link in route:
         yield link.port.acquire()
+        t_held.append(engine.now)
     yield engine.timeout(ser)
-    for link in route:
-        link.bytes_carried += nbytes
-        link.n_transfers += 1
+    for link, t0 in zip(route, t_held):
+        link.account(nbytes, t0)
         link.port.release()
     yield engine.timeout(total_latency)
     if on_wire_done is not None:

@@ -131,7 +131,8 @@ class Fabric:
         from repro.sim.resources import Resource
 
         self.copy_engine: Dict[GpuId, Resource] = {
-            g: Resource(engine, capacity=1) for g in range(self.topo.n_gpus)
+            g: Resource(engine, capacity=1, name=f"gpu{g}.ce")
+            for g in range(self.topo.n_gpus)
         }
 
     # -- link registry ---------------------------------------------------------
@@ -228,10 +229,17 @@ class Fabric:
 
         def staged():
             yield engine_res.acquire()
+            obs = self.engine.obs
+            t0 = self.engine.now
             try:
                 yield self.engine.timeout(overhead)
                 yield self.transfer(src, dst, name=name)
             finally:
+                if obs is not None:
+                    obs.span(
+                        "copy_engine", engine_res.name, None,
+                        t0, self.engine.now, nbytes=src.nbytes,
+                    )
                 engine_res.release()
 
         return self.engine.process(staged(), name=name)

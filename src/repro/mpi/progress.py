@@ -39,7 +39,9 @@ class ProgressEngine:
         self.rt = rt
         self.engine = rt.engine
         # The single progression thread (paper Section IV-A5).
-        self.thread = Resource(self.engine, capacity=1)
+        self.thread = Resource(
+            self.engine, capacity=1, name=f"r{rt.world_rank}.pe"
+        )
         self._procs = [
             self.engine.process(self._p2p_loop(), name=f"r{rt.world_rank}.prog.p2p")
         ]
@@ -54,6 +56,12 @@ class ProgressEngine:
         while True:
             msg = yield worker.am_recv(AM_P2P)
             env: Envelope = msg.payload
+            obs = self.engine.obs
+            if obs is not None:
+                obs.instant(
+                    "mpi", f"am-{env.kind}", ("pe", self.rt.world_rank),
+                    src=env.src, tag=env.tag, nbytes=env.nbytes,
+                )
             if env.kind == RTS:
                 self._handle_rts(env, msg.sender)
             elif env.kind == CTS:
@@ -66,6 +74,12 @@ class ProgressEngine:
     def _handle_rts(self, env: Envelope, sender_addr) -> None:
         rt = self.rt
         rreq = rt.matcher.deliver(env.comm_id, env.src, env.tag, (env, sender_addr))
+        obs = self.engine.obs
+        if obs is not None:
+            obs.instant(
+                "mpi", "rts-match" if rreq is not None else "rts-unexpected",
+                ("pe", rt.world_rank), src=env.src, tag=env.tag,
+            )
         if rreq is None:
             return  # queued as unexpected; a future post_recv picks it up
         comm = rt.comms[env.comm_id]
@@ -190,10 +204,17 @@ class ProgressEngine:
         """
         def proc():
             yield self.thread.acquire()
+            obs = self.engine.obs
+            t0 = self.engine.now
             try:
                 yield self.engine.timeout(self.rt.params.progress_dispatch_cost)
                 result = yield self.engine.process(work(), name=name)
             finally:
+                if obs is not None:
+                    obs.span(
+                        "pe", name, ("pe", self.rt.world_rank),
+                        t0, self.engine.now,
+                    )
                 self.thread.release()
             return result
 

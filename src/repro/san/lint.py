@@ -19,6 +19,11 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     A generator process body whose ``return value`` nobody can observe:
     ``engine.process(body(...))`` called as a bare statement discards the
     process event, and with it the generator's return value.
+``obs-bypass``
+    Instrumentation in the deterministic core must go through the
+    :mod:`repro.obs` bus: no ``print(...)`` and no direct
+    ``trace_log.append(...)`` in core modules (CLI front-ends,
+    ``*/cli.py``, are exempt — printing is their job).
 """
 
 from __future__ import annotations
@@ -45,6 +50,11 @@ STATIC_CHECKS = {
     "dropped-return": CheckInfo(
         "dropped-return", "static",
         "process body returns a value but its process event is discarded",
+    ),
+    "obs-bypass": CheckInfo(
+        "obs-bypass", "static",
+        "core instrumentation must go through repro.obs "
+        "(no print / trace_log.append outside cli modules)",
     ),
 }
 
@@ -218,6 +228,32 @@ def _check_dropped_return(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+def _check_obs_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
+    found: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            found.append(LintFinding(
+                path, node.lineno, "obs-bypass",
+                "print() in the deterministic core — publish an event on the "
+                "repro.obs bus (or move output to a cli module)",
+            ))
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "trace_log"
+        ):
+            found.append(LintFinding(
+                path, node.lineno, "obs-bypass",
+                "direct trace_log.append — Engine.trace_log is a deprecated "
+                "read-only shim; emit through the repro.obs bus instead",
+            ))
+    return found
+
+
 # --------------------------------------------------------------------------
 # drivers
 # --------------------------------------------------------------------------
@@ -235,6 +271,8 @@ def lint_source(
     if scoped:
         found += _check_wallclock(tree, path)
         found += _check_raw_units(tree, path)
+        if Path(path).name != "cli.py":
+            found += _check_obs_bypass(tree, path)
     found += _check_dropped_return(tree, path)
     return found
 

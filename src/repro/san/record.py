@@ -21,8 +21,18 @@ Identity model:
   counters, arrived flags, kernel launch/join, stream drains).
 
 Time comes from the engines themselves: :class:`repro.sim.engine.Engine`
-announces itself via :func:`note_engine` at construction, and the recorder
-reads ``now`` from the most recent one (simulations run one at a time).
+announces itself to the instrumentation bus at construction, the bus calls
+``Recorder.on_attach``, and the recorder reads ``now`` from the most
+recent engine (simulations run one at a time).
+
+Since the :mod:`repro.obs` refactor the module-level hooks below publish
+onto the ambient obs bus as ``cat="san"`` instants carrying the raw call
+arguments; :class:`Recorder` is a bus *subscriber* that rebuilds the exact
+pre-bus :class:`TraceEvent` stream from them (its own ``seq`` counter, its
+own clock), so sanitizer verdicts and trace bytes are unchanged.  The
+recorder stays reachable through :func:`install`/:func:`active` for the
+synchronous identity queries (:func:`ident`, ``range_of``) the protocol
+layers make while tracing.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import bus as _obs
 from repro.units import fmt_time
 
 try:  # numpy >= 2.0
@@ -47,6 +58,9 @@ ACCESS = "access"
 ACQUIRE = "acq"
 RELEASE = "rel"
 MARK = "mark"
+
+#: Bus category the hooks publish under (and the Recorder subscribes to).
+CAT = "san"
 
 
 def fmt_actor(actor: Optional[Actor]) -> str:
@@ -137,6 +151,9 @@ class Recorder:
     def note_engine(self, engine: Any) -> None:
         self._engines.append(engine)
 
+    #: Bus-subscriber attach hook: track the engine's clock.
+    on_attach = note_engine
+
     @property
     def now(self) -> float:
         return self._engines[-1].now if self._engines else 0.0
@@ -205,6 +222,38 @@ class Recorder:
     def mark(self, note: str, actor: Optional[Actor] = None, **info: Any) -> None:
         self._emit(kind=MARK, actor=actor, note=note, info=tuple(sorted(info.items())))
 
+    # -- bus subscription ----------------------------------------------------
+    def on_event(self, ev: Any) -> None:
+        """Consume one ``cat="san"`` bus event (ignore everything else).
+
+        The payload carries the raw hook arguments; re-emitting through the
+        methods above reproduces the pre-bus trace byte-for-byte.
+        """
+        if ev.cat != CAT:
+            return
+        name = ev.name
+        if name == ACCESS:
+            self.access(ev.actor, ev.get("buf"), ev.get("write"), ev.get("note", ""))
+        elif name == ACQUIRE:
+            self.acquire(ev.actor, ev.get("obj"))
+        elif name == RELEASE:
+            self.release(ev.actor, ev.get("obj"))
+        elif name == MARK:
+            self._emit(
+                kind=MARK, actor=ev.actor,
+                note=ev.get("note", ""), info=ev.get("info", ()),
+            )
+        elif name == "alloc":
+            self.note_alloc(ev.get("buf"), ev.get("zero_filled"))
+        elif name == "channel":
+            alloc, _lo, _hi = self.range_of(ev.get("buf"))
+            info = dict(ev.get("info", ()))
+            info["alloc"] = alloc
+            self._emit(
+                kind=MARK, actor=None,
+                note=ev.get("note", ""), info=tuple(sorted(info.items())),
+            )
+
     # -- serialization (determinism fixture) ------------------------------------
     def trace_bytes(self) -> bytes:
         return "\n".join(ev.render() for ev in self.events).encode()
@@ -212,12 +261,23 @@ class Recorder:
 
 # --------------------------------------------------------------------------
 # module-level hook surface (what instrumented code calls)
+#
+# The hooks publish ``cat="san"`` events onto the ambient obs bus; every
+# subscriber sees them (the profiler's timeline shows pready marks), and a
+# subscribed Recorder rebuilds its TraceEvent stream from them.  The gate
+# is one ``is None`` test on the ambient bus, exactly as before.
 # --------------------------------------------------------------------------
 
 _ACTIVE: Optional[Recorder] = None
 
 
 def install(rec: Recorder) -> None:
+    """Make ``rec`` the process-wide recorder for identity queries.
+
+    Event *flow* goes through the obs bus — the Sanitizer additionally
+    subscribes the recorder there; ``install`` only serves :func:`ident` /
+    ``range_of`` lookups and enforces the one-sanitizer-at-a-time rule.
+    """
     global _ACTIVE
     if _ACTIVE is not None:
         raise RuntimeError("a Sanitizer is already active; they do not nest")
@@ -241,40 +301,49 @@ def on() -> bool:
 
 
 def note_engine(engine: Any) -> None:
+    """Legacy direct registration (engines now announce via the obs bus)."""
     if _ACTIVE is not None:
         _ACTIVE.note_engine(engine)
 
 
 def note_alloc(buf: Any, zero_filled: bool) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.note_alloc(buf, zero_filled)
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(CAT, "alloc", None, buf=buf, zero_filled=zero_filled)
 
 
 def access(actor: Optional[Actor], buf: Any, write: bool, note: str = "") -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.access(actor, buf, write, note)
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(CAT, ACCESS, actor, buf=buf, write=write, note=note)
 
 
 def acquire(actor: Actor, obj: SyncObj) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.acquire(actor, obj)
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(CAT, ACQUIRE, actor, obj=obj)
 
 
 def release(actor: Actor, obj: SyncObj) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.release(actor, obj)
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(CAT, RELEASE, actor, obj=obj)
 
 
 def mark(note: str, actor: Optional[Actor] = None, **info: Any) -> None:
-    if _ACTIVE is not None:
-        _ACTIVE.mark(note, actor=actor, **info)
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(CAT, MARK, actor, note=note, info=tuple(sorted(info.items())))
 
 
 def channel(note: str, buf: Any, **info: Any) -> None:
-    """Mark channel geometry: resolves ``buf`` to its allocation index."""
-    if _ACTIVE is not None:
-        alloc, _lo, _hi = _ACTIVE.range_of(buf)
-        _ACTIVE.mark(note, alloc=alloc, **info)
+    """Mark channel geometry: the Recorder resolves ``buf`` to its alloc."""
+    bus = _obs._AMBIENT
+    if bus is not None:
+        bus.instant(
+            CAT, "channel", None,
+            buf=buf, note=note, info=tuple(sorted(info.items())),
+        )
 
 
 def ident(obj: Any) -> int:
@@ -284,5 +353,4 @@ def ident(obj: Any) -> int:
 
 def guard(check: str, actor: Optional[Actor], msg: str) -> None:
     """A runtime guard is about to raise: preserve it as a finding source."""
-    if _ACTIVE is not None:
-        _ACTIVE.mark("guard", actor=actor, check=check, msg=msg)
+    mark("guard", actor=actor, check=check, msg=msg)

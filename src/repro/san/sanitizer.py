@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.obs import bus as obs_bus
 from repro.san import record
 from repro.san.checks import run_checks
 from repro.san.report import Finding, Report
@@ -26,6 +27,11 @@ from repro.san.report import Finding, Report
 
 class Sanitizer:
     """Records one window of simulation and checks it.
+
+    Recording rides the :mod:`repro.obs` bus: entering subscribes a fresh
+    :class:`~repro.san.record.Recorder` to the ambient bus (installing a
+    private one when no profiler already installed theirs), so sanitizing
+    and profiling the same run compose.
 
     Parameters
     ----------
@@ -38,14 +44,29 @@ class Sanitizer:
         self.checks = list(checks) if checks is not None else None
         self.recorder: Optional[record.Recorder] = None
         self.report: Optional[Report] = None
+        self._bus: Optional[obs_bus.Bus] = None
+        self._own_bus = False
 
     # -- context management -------------------------------------------------
     def __enter__(self) -> "Sanitizer":
         self.recorder = record.Recorder()
         record.install(self.recorder)
+        bus = obs_bus.active()
+        if bus is None:
+            bus = obs_bus.Bus()
+            obs_bus.install(bus)
+            self._own_bus = True
+        self._bus = bus
+        bus.subscribe(self.recorder)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._bus is not None
+        self._bus.unsubscribe(self.recorder)
+        if self._own_bus:
+            obs_bus.uninstall()
+        self._bus = None
+        self._own_bus = False
         rec = record.uninstall()
         self.report = Report(
             findings=run_checks(rec.events, rec.allocs, only=self.checks),

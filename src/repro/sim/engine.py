@@ -11,11 +11,12 @@ consults wall-clock time or global randomness.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.sim.events import Event, Timeout, PRIORITY_NORMAL
+from repro.sim.events import Event, Timeout
 from repro.sim.process import Process, ProcessFailed
-from repro.san import record
+from repro.obs import bus as obs_bus
 
 
 class EmptySchedule(Exception):
@@ -31,13 +32,30 @@ class Engine:
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._crashed: Optional[ProcessFailed] = None
-        self.trace_enabled = trace
-        self.trace_log: List[Tuple[float, str]] = []
+        #: Attached instrumentation bus, or None — the fast path.  Only
+        #: :meth:`repro.obs.bus.Bus.attach` populates it, and only while
+        #: the bus has subscribers, so every hook is one ``is None`` test.
+        self.obs: Optional[obs_bus.Bus] = None
+        self._trace_shim: Optional[obs_bus.TextLog] = None
         #: Optional hook called as ``on_step(time, priority, seq)`` for every
         #: popped event, in pop order.  The argument triple *is* the heap
         #: tie-break key — the determinism regression test hashes it.
         self.on_step: Optional[Callable[[float, int, int], None]] = None
-        record.note_engine(self)
+        obs_bus.note_engine(self)
+        if trace:
+            warnings.warn(
+                "Engine(trace=True) is deprecated; subscribe a consumer to "
+                "the repro.obs bus instead (DESIGN.md §10)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._trace_shim = obs_bus.TextLog()
+            if self.obs is not None:
+                self.obs.subscribe(self._trace_shim)
+            else:
+                shim_bus = obs_bus.Bus()
+                shim_bus.subscribe(self._trace_shim)
+                shim_bus.attach(self)
 
     # -- time --------------------------------------------------------------
     @property
@@ -66,9 +84,27 @@ class Engine:
             self._crashed = ProcessFailed(process, exc)
 
     def trace(self, msg: str) -> None:
-        """Record a trace line at the current simulated time (if enabled)."""
-        if self.trace_enabled:
-            self.trace_log.append((self._now, msg))
+        """Publish a free-form trace line at the current simulated time.
+
+        A no-op unless a bus is attached; consumed by the deprecated
+        ``trace_log`` shim and visible to every other subscriber.
+        """
+        if self.obs is not None:
+            self.obs.instant("engine", "trace", None, t=self._now, msg=msg)
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Deprecated alias: True when an instrumentation bus is attached."""
+        return self.obs is not None
+
+    @property
+    def trace_log(self) -> List[Tuple[float, str]]:
+        """Deprecated: ``(time, message)`` pairs kept by the trace shim.
+
+        Empty unless the engine was built with ``trace=True``; new code
+        should subscribe :class:`repro.obs.bus.TextLog` to a bus instead.
+        """
+        return self._trace_shim.lines if self._trace_shim is not None else []
 
     # -- main loop ------------------------------------------------------------
     def step(self) -> None:
@@ -79,6 +115,8 @@ class Engine:
         self._now = time
         if self.on_step is not None:
             self.on_step(time, _prio, _seq)
+        if self.obs is not None:
+            self.obs.instant("engine", "step", None, t=time, prio=_prio, seq=_seq)
         ev._run_callbacks()
         if self._crashed is not None:
             crashed, self._crashed = self._crashed, None

@@ -163,16 +163,19 @@ class Resource:
     """Counted resource (semaphore) with FIFO grant order.
 
     Models serialized hardware ports: e.g. a link's injection port or the
-    single MPI progression thread.
+    single MPI progression thread.  ``name`` labels contention spans on
+    the instrumentation bus (``cat="resource"``): one span per *queued*
+    acquire, covering request-to-grant — uncontended grants stay silent.
     """
 
-    __slots__ = ("engine", "capacity", "_in_use", "_queue")
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_queue")
 
-    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.engine = engine
         self.capacity = capacity
+        self.name = name
         self._in_use = 0
         self._queue: Deque[Event] = deque()
 
@@ -190,6 +193,16 @@ class Resource:
             self._in_use += 1
             ev.succeed(self)
         else:
+            obs = self.engine.obs
+            if obs is not None:
+                t0 = self.engine.now
+                label = self.name or "resource"
+                ev.add_callback(
+                    lambda _ev: obs.span(
+                        "resource", label, None, t0, self.engine.now,
+                        queued=True,
+                    )
+                )
             self._queue.append(ev)
         return ev
 

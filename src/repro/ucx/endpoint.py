@@ -60,9 +60,17 @@ class UcpEndpoint:
         done = self.fabric.host_initiated_transfer(
             src, dst_view, name=f"put[{self.worker.name}]"
         )
+        obs = self.engine.obs
+        t_issue = self.engine.now
+        nbytes = src.nbytes
 
         def _on_done(ev: Event) -> None:
             self.puts_completed += 1
+            if obs is not None:
+                obs.span(
+                    "ucx", "put", None, t_issue, self.engine.now,
+                    nbytes=nbytes, worker=self.worker.name,
+                )
             if callback is not None and ev.ok:
                 callback()
 
@@ -78,6 +86,12 @@ class UcpEndpoint:
         (setup_t packets are small control messages).
         """
         def send_proc():
+            obs = self.engine.obs
+            if obs is not None:
+                obs.instant(
+                    "ucx", "am_send", None,
+                    am_id=am_id, nbytes=nbytes, worker=self.worker.name,
+                )
             p = self.fabric.config.params
             yield self.engine.timeout(p.am_send_overhead)
             src_probe = Buffer.alloc(

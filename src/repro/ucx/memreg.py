@@ -64,12 +64,21 @@ def mem_map(worker, buffer: Buffer):
 
     Host generator: charges the registration (pinning + MR creation) cost.
     """
-    if buffer._registered:
+    engine = worker.engine
+    obs = engine.obs
+    t0 = engine.now
+    cached = buffer._registered
+    if cached:
         # Re-registering the same region is cheap (registration cache hit).
-        yield worker.engine.timeout(worker.fabric.config.params.ucp_rkey_pack)
+        yield engine.timeout(worker.fabric.config.params.ucp_rkey_pack)
     else:
-        yield worker.engine.timeout(worker.fabric.config.params.ucp_mem_map_per_call)
+        yield engine.timeout(worker.fabric.config.params.ucp_mem_map_per_call)
         buffer._registered = True
+    if obs is not None:
+        obs.span(
+            "ucx", "mem_map", None, t0, engine.now,
+            nbytes=buffer.nbytes, cached=cached, worker=worker.name,
+        )
     return MemHandle(buffer, next(_reg_ids))
 
 
@@ -102,6 +111,12 @@ def rkey_ptr(worker, rkey: RemoteKey, opener_gpu: int):
             f"rkey_ptr: remote region is {target.space}, cuda_ipc needs device memory"
         )
     yield worker.engine.timeout(worker.fabric.config.params.ucp_rkey_ptr)
+    obs = worker.engine.obs
+    if obs is not None:
+        obs.instant(
+            "ucx", "rkey_ptr", None,
+            opener_gpu=opener_gpu, nbytes=target.nbytes, worker=worker.name,
+        )
     if rkey._mapped_ptr is None:
         try:
             handle = IpcMemHandle(target)

@@ -1,0 +1,15 @@
+"""Fixtures for the instrumentation-bus tests."""
+
+import pytest
+
+from repro.obs import bus as obs_bus
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_ambient_bus():
+    """Every test starts and ends without an ambient bus installed."""
+    if obs_bus.active() is not None:
+        obs_bus.uninstall()
+    yield
+    if obs_bus.active() is not None:
+        obs_bus.uninstall()

@@ -104,6 +104,36 @@ def test_valueless_body_passes():
     assert lint_source(NO_VALUE, "sim/x.py") == []
 
 
+# -- obs-bypass --------------------------------------------------------------
+
+def test_print_in_core_flagged():
+    src = "def f(x):\n    print(x)\n"
+    findings = lint_source(src, "sim/x.py")
+    assert _checks(findings) == ["obs-bypass"]
+    assert "repro.obs" in findings[0].message
+
+
+def test_trace_log_append_flagged():
+    src = "def f(engine, msg):\n    engine.trace_log.append((0.0, msg))\n"
+    findings = lint_source(src, "mpi/x.py")
+    assert _checks(findings) == ["obs-bypass"]
+
+
+def test_cli_modules_may_print():
+    src = "def main():\n    print('report')\n"
+    assert lint_source(src, "hw/spec/cli.py") == []
+
+
+def test_print_outside_core_passes():
+    src = "def f(x):\n    print(x)\n"
+    assert lint_source(src, "bench/x.py", scoped=False) == []
+
+
+def test_other_append_calls_pass():
+    src = "def f(items, x):\n    items.append(x)\n"
+    assert lint_source(src, "sim/x.py") == []
+
+
 # -- drivers -----------------------------------------------------------------
 
 def test_seeded_wallclock_file_fails(tmp_path, capsys):

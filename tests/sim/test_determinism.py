@@ -111,3 +111,85 @@ def test_gh200_spec_trace_matches_pre_refactor_seed(config, key):
     assert san.report.ok
     digest = hashlib.sha256(san.trace_bytes()).hexdigest()
     assert digest == _SEED_TRACES[key]
+
+
+# -- the obs bus must be invisible ------------------------------------------
+#
+# The instrumentation refactor's contract: with a bus installed but *idle*
+# (zero subscribers) every hook stays one `is None` test, and even a fully
+# subscribed bus must never perturb the simulated timeline.
+
+def test_sanitized_digest_unchanged_with_idle_ambient_bus():
+    """An installed-but-subscriber-less bus leaves engine.obs None; the
+    sanitizer (which rides the same bus) still reproduces the seed digest."""
+    from repro.obs import bus as obs_bus
+
+    obs_bus.install(obs_bus.Bus())
+    try:
+        with Sanitizer() as san:
+            world = World(ONE_NODE)
+            _workload(world)
+    finally:
+        obs_bus.uninstall()
+    assert san.report.ok
+    digest = hashlib.sha256(san.trace_bytes()).hexdigest()
+    assert digest == _SEED_TRACES["one-node"]
+
+
+def test_step_stream_unchanged_with_idle_bus():
+    baseline = _step_stream()
+    from repro.obs import bus as obs_bus
+
+    bus = obs_bus.Bus()
+    obs_bus.install(bus)
+    try:
+        world = World(ONE_NODE)
+        assert world.engine.obs is None  # no subscribers: fast path intact
+        steps = []
+        world.engine.on_step = lambda t, prio, seq: steps.append((t, prio, seq))
+        _workload(world)
+    finally:
+        obs_bus.uninstall()
+    assert steps == baseline
+
+
+def test_step_stream_unchanged_under_full_observation():
+    """Subscribing a collector turns every hook on — and must not move a
+    single event: observers read the timeline, never shape it."""
+    baseline = _step_stream()
+    from repro.obs import bus as obs_bus
+    from repro.obs.profile import Collector
+
+    bus = obs_bus.Bus()
+    collector = Collector()
+    bus.subscribe(collector)
+    obs_bus.install(bus)
+    try:
+        world = World(ONE_NODE)
+        assert world.engine.obs is bus
+        steps = []
+        world.engine.on_step = lambda t, prio, seq: steps.append((t, prio, seq))
+        _workload(world)
+    finally:
+        obs_bus.uninstall()
+    assert steps == baseline
+    cats = {ev.cat for ev in collector.events}
+    assert {"engine", "kernel", "link", "pe", "stream", "ucx", "san"} <= cats
+
+
+def test_idle_hook_overhead_is_bounded():
+    """Micro-benchmark: with no bus attached, Engine.trace (the cheapest
+    hook shape: one attribute load + is-None test) stays in the tens-of-
+    nanoseconds range.  The bound is generous to survive loaded CI boxes."""
+    from time import perf_counter
+
+    from repro.sim.engine import Engine
+
+    eng = Engine()
+    assert eng.obs is None
+    n = 100_000
+    t0 = perf_counter()
+    for _ in range(n):
+        eng.trace("idle")
+    per_call = (perf_counter() - t0) / n
+    assert per_call < 5e-6, f"idle hook costs {per_call * 1e9:.0f}ns/call"
