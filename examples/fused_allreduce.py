@@ -40,7 +40,7 @@ def run_fused():
             t0 = ctx.now
             kernel = UniformKernel(
                 GRID, 1024, WorkSpec.vector_add(),
-                wave_hook=lambda kc, wv: pdev.pready_wave(kc, preq, wv),
+                wave_hook=pdev.PreadyWaveHook(preq),
             )
             yield from ctx.gpu.launch_h(kernel)
             yield from req.wait()

@@ -10,6 +10,10 @@ PYTHONPATH=src python -m pytest -x -q -m "not smoke"
 echo "== benchmark smoke (one small-grid point per paper figure) =="
 PYTHONPATH=src python -m pytest -x -q -m smoke
 
+echo "== bench smoke (event-loop traffic vs recorded ceiling) =="
+PYTHONPATH=src python -m repro bench \
+    --against BENCH_pr4.json --out /tmp/repro_bench_smoke.json
+
 echo "== profile smoke (Chrome trace_event export) =="
 PYTHONPATH=src python -m repro profile examples/pingpong_partitioned.py \
     --chrome /tmp/repro_trace.json

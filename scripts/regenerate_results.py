@@ -11,6 +11,7 @@ import sys
 import time
 
 from repro.bench import figures, render
+from repro.sim.engine import STATS
 
 FAST = "--fast" in sys.argv
 
@@ -33,12 +34,19 @@ def main() -> None:
     blocks = ["# Regenerated exhibits", "",
               "Produced by `python scripts/regenerate_results.py`.", ""]
     for name, kwargs in PLANS.items():
+        STATS.reset()
         t0 = time.time()
         series = figures.ALL_EXHIBITS[name](**kwargs)
         wall = time.time() - t0
         text = render(series)
         print(text)
-        print(f"  [{name} regenerated in {wall:.1f}s wall]\n")
+        # Heap-traffic counters are deterministic: future PRs can spot
+        # DES-level regressions here without a profiler.
+        print(
+            f"  [{name} regenerated in {wall:.1f}s wall, "
+            f"{STATS.events_popped} events popped, "
+            f"{STATS.events_coalesced} coalesced]\n"
+        )
         blocks += ["```", text, "```", ""]
     with open("RESULTS.md", "w") as fh:
         fh.write("\n".join(blocks))

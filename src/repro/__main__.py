@@ -9,6 +9,7 @@
     python -m repro topo <spec>          # print/validate a machine spec
     python -m repro topo --list
     python -m repro profile <script> --chrome out.json --util --critical-path
+    python -m repro bench [--against BENCH_pr4.json]   # simulator wall-clock suite
 """
 
 from __future__ import annotations
@@ -33,6 +34,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

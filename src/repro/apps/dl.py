@@ -115,7 +115,7 @@ def run_dl(ctx, cfg: DlConfig) -> Generator:
                 )
             kernel = UniformKernel(
                 cfg.grid, cfg.block, work, name="bce_p", apply=bce_apply,
-                wave_hook=lambda kc, wv: pdev.pready_wave(kc, preq, wv),
+                wave_hook=pdev.PreadyWaveHook(preq),
             )
             yield from ctx.gpu.launch_h(kernel)
             yield from pall.wait()

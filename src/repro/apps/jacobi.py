@@ -42,6 +42,56 @@ _OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
 FLOPS_PER_POINT = 5.0
 
 
+class _HaloWaveHook:
+    """Wave hook raising each halo's device MPIX_Pready when the wave
+    containing its last producing block retires: kernel-copy halos store
+    directly into the neighbour (posted; the host completion is gated on
+    the copy) and all halos signal the progression engine.
+
+    Speaks the executor's coalescing protocol (DESIGN.md §11): a wave
+    containing no halo's last producing block has zero externally visible
+    effects, so on an unobserved engine those waves collapse into the
+    next firing wave's heap event.
+    """
+
+    __slots__ = ("fire_at", "preqs")
+
+    def __init__(self, fire_at: List[Tuple[int, int]], preqs: Dict) -> None:
+        self.fire_at = fire_at  # (last producing block, direction) pairs
+        self.preqs = preqs
+
+    def _fire_halo(self, kc, d: int) -> None:
+        preq = self.preqs[d]
+        if preq.mode is CopyMode.KERNEL_COPY:
+            preq.kc_copy_events[0] = kc.copy(preq.src_slice(0), preq.mapped_slice(0))
+        kc.bulk_host_flag_writes(1, preq.host_signals[0])
+
+    def __call__(self, kc, wave) -> None:
+        for last_block, d in self.fire_at:
+            if wave.blocks[0] <= last_block <= wave.blocks[-1]:
+                self._fire_halo(kc, d)
+
+    def wave_batches(self, kc, plan):
+        t = kc.now
+        n_acc = 0
+        for blocks, dt in plan:
+            t = t + dt
+            n_acc += 1
+            hits = [
+                d for last_block, d in self.fire_at
+                if blocks[0] <= last_block <= blocks[-1]
+            ]
+            if hits:
+                def fire(kctx, hits=hits):
+                    for d in hits:
+                        self._fire_halo(kctx, d)
+
+                yield n_acc, t, fire
+                n_acc = 0
+        if n_acc:
+            yield n_acc, t, None
+
+
 def process_grid(nprocs: int) -> Tuple[int, int]:
     """(py, px) decomposition: 4 -> 2x2, 8 -> 4x2 (paper Section VI-D1).
 
@@ -236,21 +286,7 @@ def run_jacobi(ctx, cfg: JacobiConfig) -> Generator:
                     )
 
             fire_at = [(producing_last_block[d], d) for d in neighbours]
-
-            def hook(kc, wave, fire_at=fire_at):
-                # Device MPIX_Pready: as soon as the wave containing a
-                # halo's last producing block retires, kernel-copy halos
-                # store directly into the neighbour (posted; the host
-                # completion is gated on the copy) and all halos signal
-                # the progression engine.
-                for last_block, d in fire_at:
-                    if wave.blocks[0] <= last_block <= wave.blocks[-1]:
-                        preq = preqs[d]
-                        if preq.mode is CopyMode.KERNEL_COPY:
-                            preq.kc_copy_events[0] = kc.copy(
-                                preq.src_slice(0), preq.mapped_slice(0)
-                            )
-                        kc.bulk_host_flag_writes(1, preq.host_signals[0])
+            hook = _HaloWaveHook(fire_at, preqs)
 
             kernel = UniformKernel(
                 grid_blocks, cfg.block, work, name="jacobi_p",

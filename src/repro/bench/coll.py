@@ -64,7 +64,7 @@ def _allreduce_main(ctx, grid: int, variant: str, iters: int, partitions: int) -
         else:
             kernel = UniformKernel(
                 grid, BLOCK, work, apply=produce,
-                wave_hook=lambda kc, wv: pdev.pready_wave(kc, preq, wv),
+                wave_hook=pdev.PreadyWaveHook(preq),
             )
             yield from ctx.gpu.launch_h(kernel)
             yield from pall.wait()

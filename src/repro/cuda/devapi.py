@@ -69,6 +69,33 @@ def host_flag_write_proc(
     return n_writes
 
 
+def multi_flag_write_proc(device: "Device", signals, actor=None):
+    """Aggregate of several same-instant crossing signals, one store each.
+
+    Replays exactly what ``len(signals)`` concurrent single-write
+    ``host_flag_write_proc`` processes would do — the C2C port serializes
+    them back-to-back (FIFO hands the slot over at the same instant), so
+    store ``k`` occupies ``[T + (k-1)*w, T + k*w]`` and fires
+    ``flag_write_base`` after its own store — but in one process instead
+    of one per signal.  Only the coalescing fast path uses this (the
+    engine is unobserved there, hence no per-signal ``record`` calls);
+    the exact path keeps per-signal processes.
+    """
+    hw = device.fabric.config.params
+    link = device.fabric.d2h_link(device.gpu_id)
+    engine = device.engine
+    yield link.port.acquire()
+    for signal in signals:
+        t0 = engine.now
+        yield engine.timeout(hw.flag_write_host)
+        link.account(8, t0, transfers=1)
+        engine.timeout(hw.flag_write_base).add_callback(
+            lambda _ev, s=signal: _fire(s, 1)
+        )
+    link.port.release()
+    return len(signals)
+
+
 def _fenced_copy(device: "Device", src: Buffer, dst: Buffer, name: str, actor=None) -> Event:
     """Intra-kernel store sequence: wire transfer + system fence."""
 
@@ -218,6 +245,18 @@ class KernelCtx:
         return self.device.engine.process(
             host_flag_write_proc(self.device, n_writes, signal, amount, actor=self.actor),
             name=f"hflag[{self.kernel.name}]",
+        )
+
+    def bulk_crossing_signals(self, signals) -> Event:
+        """Aggregate of several same-wave crossing signals (fast path only).
+
+        See :func:`multi_flag_write_proc`; used by the coalesced-
+        signalling layer when one wave crosses the threshold of multiple
+        contiguous transport partitions at once.
+        """
+        return self.device.engine.process(
+            multi_flag_write_proc(self.device, signals, actor=self.actor),
+            name=f"hflags[{self.kernel.name}]",
         )
 
     def bulk_atomic_adds(self, counter: Counter, amount: int) -> Event:

@@ -117,6 +117,23 @@ class Buffer:
         record.note_alloc(buf, zero_filled=True)
         return buf
 
+    @property
+    def is_virtual(self) -> bool:
+        """True for geometry-only (read-only, zero-stride) buffers."""
+        return not self.data.flags.writeable
+
+    def alloc_like(self, n: int, space: MemSpace, node: int, label: str = "") -> "Buffer":
+        """A host-side staging buffer matching this buffer's payload kind.
+
+        Bounce/staging buffers inherit virtuality: staging a virtual
+        buffer's bytes materializes nothing, so the stage is virtual too
+        (same O(1) footprint), keeping GiB-scale virtual transfers free
+        of real allocation and memcpy wall time.
+        """
+        if self.is_virtual:
+            return Buffer.alloc_virtual(n, self.data.dtype, space, node=node, label=label)
+        return Buffer.alloc(n, self.data.dtype, space, node=node, label=label)
+
     # -- geometry ---------------------------------------------------------------
     @property
     def nbytes(self) -> int:
@@ -168,6 +185,10 @@ class Buffer:
             )
         record.access(None, src, write=False, note="copy_from")
         record.access(None, self, write=True, note="copy_from")
+        if not self.data.flags.writeable:
+            # Virtual destination: the transfer's *time* was charged by the
+            # link model; there is no payload to materialize.
+            return
         np.copyto(self.data, src.data)
 
     def same_allocation(self, other: "Buffer") -> bool:

@@ -114,7 +114,8 @@ class ProgressEngine:
         target = rreq.buf.view(0, n)
         if target.space.host_accessible:
             yield rt.engine.timeout(env.nbytes / rt.params.host_mem_bw)
-            target.data[:] = env.payload
+            if not target.is_virtual:
+                target.data[:] = env.payload
         else:
             # Device target: staged H2D copy through the superchip's C2C.
             from repro.hw.memory import Buffer, MemSpace
@@ -148,7 +149,7 @@ class ProgressEngine:
     def _rndv_put(self, comm, sreq, buf, env: Envelope) -> Generator:
         rt = self.rt
         assert env.target is not None
-        from repro.hw.memory import Buffer, MemSpace
+        from repro.hw.memory import MemSpace
 
         if env.target.node != buf.node:
             # RC-verbs rendezvous across the IB fabric pays the extra
@@ -163,8 +164,10 @@ class ProgressEngine:
             # the paper baselines against); we charge one extra C2C pass
             # for the non-overlapped portion of that pipeline.  The
             # partitioned path's RMA puts go GPUDirect and skip this.
-            bounce = Buffer.alloc(
-                len(buf.data), buf.data.dtype, MemSpace.PINNED, node=buf.node
+            # The stage inherits the payload's virtuality (alloc_like), so
+            # geometry-only benchmark buffers never materialize GiB copies.
+            bounce = buf.alloc_like(
+                len(buf.data), MemSpace.PINNED, node=buf.node, label="rndv_bounce"
             )
             yield rt.fabric.transfer(buf, bounce, name="rndv_d2h")
             buf = bounce

@@ -28,6 +28,7 @@ remote buffer before signalling the host for the completion path.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Generator
 
 from repro.cuda.devapi import BlockCtx, KernelCtx
@@ -232,3 +233,126 @@ def _kc_copy_then_signal(kctx: KernelCtx, preq: Prequest, tp: int) -> Generator:
     # engine gates the completion flag on the copy event).
     preq.kc_copy_events[tp] = kctx.copy(preq.src_slice(tp), preq.mapped_slice(tp))
     yield kctx.bulk_host_flag_writes(1, preq.host_signals[tp])
+
+
+class PreadyWaveHook:
+    """Reusable ``UniformKernel`` wave hook binding a kernel to MPIX_Pready.
+
+    ``wave_hook=PreadyWaveHook(preq)`` behaves exactly like the bare
+    ``lambda kc, wv: pready_wave(kc, preq, wv)`` — and additionally speaks
+    the coalescing protocol of ``Device._exec_uniform`` (DESIGN.md §11):
+    on an unobserved engine, runs of waves whose only effect is advancing
+    a global-memory aggregation counter (which nothing waits on) collapse
+    into one aggregate heap event per threshold crossing, carrying the
+    whole partition range's block counts.  Heap traffic drops from
+    O(waves x 4) to O(crossings) = O(transport partitions) while every
+    externally observable action — counter state at any later read, host
+    signal wire times, kernel-copy issue times — lands on bit-identical
+    simulated timestamps.
+
+    Only Kernel-Copy mode and BLOCK signal aggregation are coalescible;
+    thread/warp signal storms write the C2C link on every wave, so
+    :meth:`wave_batches` returns ``None`` and the executor falls back to
+    the exact per-wave loop.
+    """
+
+    __slots__ = ("preq",)
+
+    def __init__(self, preq: Prequest) -> None:
+        self.preq = preq
+
+    def __call__(self, kctx: KernelCtx, wave: Wave) -> None:
+        pready_wave(kctx, self.preq, wave)
+
+    def wave_batches(self, kctx: KernelCtx, plan):
+        preq = self.preq
+        if preq.mode is not CopyMode.KERNEL_COPY and preq.agg.signal_mode is not SignalMode.BLOCK:
+            return None  # every wave signals the host: nothing to coalesce
+        _check_device_call(kctx.device, preq, actor=kctx.actor)
+        return self._batches(kctx, plan)
+
+    def _batches(self, kctx: KernelCtx, plan):
+        """Yield ``(n_waves, t_end, fire)`` batches for the executor.
+
+        Crossing detection replicates the exact path bit-for-bit,
+        including its deferred-visibility semantics: the exact hook reads
+        ``counter.value`` at wave end, but each wave's aggregate atomic
+        lands ``gmem_atomic`` later (and, on an exact time tie, *after*
+        the next wave's hook), so ``before`` may lag the true count.  We
+        model that with a visibility queue instead of reading live
+        counters, and apply the real ``Counter.add`` in bulk at each
+        fire point — legal because the aggregation counters are
+        kernel-internal (no ``wait_for`` waiters, nothing samples them
+        between waves).
+        """
+        preq = self.preq
+        agg = preq.agg
+        bpp = agg.blocks_per_partition
+        threshold = agg.gmem_threshold()
+        counters = preq.gmem_counters
+        ga = kctx.device.fabric.config.params.gmem_atomic
+        base: dict = {}       # tp -> counter value when first touched
+        vis: dict = {}        # tp -> adds visible per exact-path semantics
+        unapplied: dict = {}  # tp -> adds not yet pushed to the Counter
+        pending = deque()     # (visible_time, wave_index, tp, n_blocks)
+        t = kctx.now
+        n_acc = 0
+        for k, (blocks, dt) in enumerate(plan):
+            t = t + dt
+            n_acc += 1
+            # Adds from wave j are visible to wave k's hook when their
+            # landing time is strictly earlier, or equal with j <= k-2
+            # (the tie-break: wave j's atomic timeout is enqueued after
+            # wave j+1's wave timeout but before wave j+2's).
+            while pending:
+                vt, j, ptp, n = pending[0]
+                if vt < t or (vt == t and j <= k - 2):
+                    vis[ptp] = vis.get(ptp, 0) + n
+                    pending.popleft()
+                else:
+                    break
+            first_tp = blocks[0] // bpp
+            last_tp = blocks[-1] // bpp
+            crossed = []
+            for tp in range(first_tp, last_tp + 1):
+                lo = max(blocks[0], tp * bpp)
+                hi = min(blocks[-1] + 1, (tp + 1) * bpp)
+                n_blocks = hi - lo
+                if n_blocks <= 0:
+                    continue
+                if tp not in base:
+                    base[tp] = counters[tp].value
+                before = base[tp] + vis.get(tp, 0)
+                if before < threshold <= before + n_blocks:
+                    crossed.append(tp)
+                pending.append((t + ga, k, tp, n_blocks))
+                unapplied[tp] = unapplied.get(tp, 0) + n_blocks
+            if crossed:
+                yield n_acc, t, self._make_fire(dict(unapplied), crossed)
+                unapplied.clear()
+                n_acc = 0
+        if n_acc:
+            fire = self._make_fire(dict(unapplied), []) if unapplied else None
+            unapplied.clear()
+            yield n_acc, t, fire
+
+    def _make_fire(self, adds: dict, crossed: list):
+        preq = self.preq
+
+        def fire(kctx: KernelCtx) -> None:
+            counters = preq.gmem_counters
+            for tp, n in adds.items():
+                counters[tp].add(n)
+            if preq.mode is CopyMode.KERNEL_COPY:
+                for tp in crossed:
+                    kctx.engine.process(
+                        _kc_copy_then_signal(kctx, preq, tp), name=f"kc_tp{tp}"
+                    )
+            elif len(crossed) == 1:
+                kctx.bulk_host_flag_writes(1, preq.host_signals[crossed[0]])
+            elif crossed:
+                # One aggregate process replays the whole range's FIFO-
+                # serialized crossing signals (one C2C store each).
+                kctx.bulk_crossing_signals([preq.host_signals[tp] for tp in crossed])
+
+        return fire

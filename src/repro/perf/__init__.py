@@ -1,0 +1,11 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Everything under ``repro.perf`` is *outside* the deterministic core
+(``repro.san``'s ``wallclock`` lint does not scope it), so it may consult
+``time.perf_counter``.  The harness runs a pinned workload suite, totals
+the engine's heap-traffic counters (:data:`repro.sim.engine.STATS`), and
+writes ``BENCH_pr<N>.json`` — the DES-level regression baseline that
+``scripts/ci.sh``'s ``bench-smoke`` step gates on.  See DESIGN.md §11.
+"""
+
+from repro.perf.bench import SUITE, main, run_suite  # noqa: F401

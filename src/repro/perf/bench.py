@@ -1,0 +1,182 @@
+"""``python -m repro bench``: the pinned simulator benchmark suite.
+
+Each suite entry runs a fixed workload under ``time.perf_counter`` and
+records the engine's event-loop counters:
+
+* ``wall_s`` — host wall-clock seconds (informational; never gated,
+  machines differ);
+* ``events_popped`` — heap events actually dispatched.  Deterministic for
+  a given code state, so it is the regression metric: ``--against`` fails
+  when an entry pops more than ``tolerance`` above its recorded baseline;
+* ``events_coalesced`` — per-wave events the coalescing fast path avoided
+  scheduling (DESIGN.md §11);
+* ``peak_heap`` — high-water mark of the pending-event heap.
+
+The suite mirrors the paper exhibits that dominate ``regenerate_results``:
+a host ping-pong, decimated Fig 4/5 goodput sweeps, the single
+131072-partition Fig 5 point (the ISSUE's headline O(waves) target), and
+the Fig 8 Jacobi solve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.sim.engine import STATS
+
+#: Default tolerance for the --against gate: events_popped is exactly
+#: reproducible, but small headroom keeps unrelated cost-model tweaks from
+#: tripping the CI step.
+DEFAULT_TOLERANCE = 0.05
+
+
+def _pingpong() -> None:
+    from repro.hw.params import ONE_NODE
+    from repro.mpi.world import World
+
+    def main(ctx):
+        comm = ctx.comm
+        buf = ctx.gpu.alloc(1024)
+        peer = 1 - ctx.rank
+        for _ in range(50):
+            if ctx.rank == 0:
+                yield from comm.send(buf, dest=peer, tag=1)
+                yield from comm.recv(buf, source=peer, tag=2)
+            else:
+                yield from comm.recv(buf, source=peer, tag=1)
+                yield from comm.send(buf, dest=peer, tag=2)
+
+    World(ONE_NODE).run(main, nprocs=2)
+
+
+def _fig4_decimated() -> None:
+    from repro.bench import figures
+
+    figures.fig4(grids=(1, 256, 32768))
+
+
+def _fig5_decimated() -> None:
+    from repro.bench import figures
+
+    figures.fig5(grids=(1, 256, 131072))
+
+
+def _fig5_131072() -> None:
+    from repro.bench.p2p import TWO_NODE_PAIR, measure_p2p_goodput
+
+    measure_p2p_goodput(131072, "progression", TWO_NODE_PAIR)
+
+
+def _fig8_jacobi() -> None:
+    from repro.bench import figures
+
+    figures.fig8(multipliers=(1, 4), iters=60)
+
+
+SUITE = {
+    "pingpong": _pingpong,
+    "fig4-decimated": _fig4_decimated,
+    "fig5-decimated": _fig5_decimated,
+    "fig5-131072-pe": _fig5_131072,
+    "fig8-jacobi": _fig8_jacobi,
+}
+
+
+def run_suite(names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
+    """Run the selected entries; returns ``{entry: counters}``."""
+    results: Dict[str, dict] = {}
+    for name in names or SUITE:
+        fn = SUITE.get(name)
+        if fn is None:
+            raise KeyError(f"unknown bench suite entry {name!r}; have {sorted(SUITE)}")
+        STATS.reset()
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+        snap = STATS.snapshot()
+        snap.pop("events_cancelled", None)
+        results[name] = {"wall_s": round(wall, 3), **snap}
+    return results
+
+
+def _totals(results: Dict[str, dict]) -> dict:
+    total = {"wall_s": 0.0, "events_popped": 0, "events_coalesced": 0, "peak_heap": 0}
+    for row in results.values():
+        total["wall_s"] = round(total["wall_s"] + row["wall_s"], 3)
+        total["events_popped"] += row["events_popped"]
+        total["events_coalesced"] += row["events_coalesced"]
+        total["peak_heap"] = max(total["peak_heap"], row["peak_heap"])
+    return total
+
+
+def _check_against(results: Dict[str, dict], baseline: dict, tolerance: float) -> int:
+    """Gate events_popped against a recorded baseline; returns exit code."""
+    failures = 0
+    recorded = baseline.get("suite", {})
+    for name, row in results.items():
+        base = recorded.get(name)
+        if base is None:
+            print(f"  {name}: no baseline entry (skipped)")
+            continue
+        ceiling = base["events_popped"] * (1.0 + tolerance)
+        verdict = "ok" if row["events_popped"] <= ceiling else "REGRESSED"
+        print(
+            f"  {name}: events_popped {row['events_popped']} vs "
+            f"baseline {base['events_popped']} (ceiling {ceiling:.0f}) -> {verdict}"
+        )
+        if verdict != "ok":
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
+    )
+    parser.add_argument("--pr", type=int, default=4, help="PR number for the output filename")
+    parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
+    parser.add_argument("--suite", help="comma-separated subset of suite entries")
+    parser.add_argument(
+        "--against", help="baseline BENCH_pr<N>.json to gate events_popped against"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed events_popped growth over the baseline (fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.suite.split(",") if args.suite else None
+    results = run_suite(names)
+    doc = {
+        "pr": args.pr,
+        "metric_note": "events_popped is deterministic; wall_s is informational",
+        "suite": results,
+        "total": _totals(results),
+    }
+
+    for name, row in results.items():
+        print(
+            f"{name:16s} wall {row['wall_s']:8.3f}s  popped {row['events_popped']:9d}  "
+            f"coalesced {row['events_coalesced']:9d}  peak_heap {row['peak_heap']:6d}"
+        )
+    total = doc["total"]
+    print(
+        f"{'TOTAL':16s} wall {total['wall_s']:8.3f}s  popped {total['events_popped']:9d}  "
+        f"coalesced {total['events_coalesced']:9d}"
+    )
+
+    out = args.out or f"BENCH_pr{args.pr}.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.against:
+        with open(args.against) as fh:
+            baseline = json.load(fh)
+        return _check_against(results, baseline, args.tolerance)
+    return 0

@@ -24,6 +24,12 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     :mod:`repro.obs` bus: no ``print(...)`` and no direct
     ``trace_log.append(...)`` in core modules (CLI front-ends,
     ``*/cli.py``, are exempt — printing is their job).
+``eager-obs-payload``
+    An f-string payload handed to ``engine.trace(...)`` /
+    ``obs.instant(...)`` / ``obs.span(...)`` formats *before* the call —
+    even when no bus is attached and the call is a no-op.  On the hot
+    path that wastes wall-clock on every unobserved run (DESIGN.md §11),
+    so such payloads must sit under an ``... obs is not None`` guard.
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ STATIC_CHECKS = {
         "obs-bypass", "static",
         "core instrumentation must go through repro.obs "
         "(no print / trace_log.append outside cli modules)",
+    ),
+    "eager-obs-payload": CheckInfo(
+        "eager-obs-payload", "static",
+        "f-string payloads for trace/instant/span must sit under an "
+        "'obs is not None' guard (they format even when unobserved)",
     ),
 }
 
@@ -254,6 +265,81 @@ def _check_obs_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+_OBS_EMIT_ATTRS = {"trace", "instant", "span", "counter"}
+
+
+def _check_eager_obs_payload(tree: ast.AST, path: str) -> List[LintFinding]:
+    """f-strings handed to obs-emit calls outside an ``obs is not None`` guard.
+
+    ``engine.trace(f"...")`` formats its payload before the call even when
+    no bus is attached and the call is a no-op — pure wall-clock waste on
+    the fast path.  The idiom the core uses is::
+
+        obs = engine.obs
+        if obs is not None:
+            obs.instant("lane", f"msg {x}", actor)
+    """
+    found: List[LintFinding] = []
+
+    def guards_obs(test: ast.AST) -> bool:
+        for node in ast.walk(test):
+            if (
+                isinstance(node, ast.Compare)
+                and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.IsNot)
+                and isinstance(node.comparators[0], ast.Constant)
+                and node.comparators[0].value is None
+            ):
+                dotted = _dotted(node.left)
+                if dotted is not None and (
+                    dotted == "obs" or dotted.endswith(".obs")
+                ):
+                    return True
+        return False
+
+    def eager_fstring(call: ast.Call) -> bool:
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.JoinedStr) and any(
+                    isinstance(part, ast.FormattedValue) for part in sub.values
+                ):
+                    return True
+        return False
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.If):
+            body_guarded = guarded or guards_obs(node.test)
+            for child in node.body:
+                visit(child, body_guarded)
+            for child in node.orelse:
+                visit(child, guarded)
+            return
+        if isinstance(node, ast.IfExp) and guards_obs(node.test):
+            visit(node.test, guarded)
+            visit(node.body, True)
+            visit(node.orelse, guarded)
+            return
+        if (
+            not guarded
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _OBS_EMIT_ATTRS
+            and eager_fstring(node)
+        ):
+            found.append(LintFinding(
+                path, node.lineno, "eager-obs-payload",
+                f".{node.func.attr}(...) payload is an f-string built outside "
+                "an 'obs is not None' guard — it formats even on unobserved "
+                "runs; hoist the call under the guard (DESIGN.md §11)",
+            ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    visit(tree, False)
+    return found
+
+
 # --------------------------------------------------------------------------
 # drivers
 # --------------------------------------------------------------------------
@@ -273,6 +359,7 @@ def lint_source(
         found += _check_raw_units(tree, path)
         if Path(path).name != "cli.py":
             found += _check_obs_bypass(tree, path)
+        found += _check_eager_obs_payload(tree, path)
     found += _check_dropped_return(tree, path)
     return found
 

@@ -6,15 +6,23 @@ the helpers in :mod:`repro.units` (``us``, ``GiB`` …) to stay readable.
 Determinism: heap entries are ``(time, priority, seq)``; ``seq`` is a
 monotone counter so ties break by insertion order.  Nothing in the engine
 consults wall-clock time or global randomness.
+
+Wall-clock fast path (DESIGN.md §11): :meth:`Engine.run` hoists the
+``obs is None`` / ``on_step is None`` observer checks out of the pop loop —
+an unobserved run executes an inlined loop with no per-event method calls,
+while any observer routes every pop through :meth:`step` so hooks fire
+exactly as before.  Observers must therefore be attached *before* ``run``
+is entered; nothing in the deterministic core attaches one mid-run.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import warnings
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Event, Timeout, _PooledTimeout
 from repro.sim.process import Process, ProcessFailed
 from repro.obs import bus as obs_bus
 
@@ -23,8 +31,48 @@ class EmptySchedule(Exception):
     """run() exhausted all events before reaching the requested time."""
 
 
+class SimStats:
+    """Process-wide event-loop counters, aggregated across engines.
+
+    Each :class:`Engine` folds its own counters into the module-level
+    :data:`STATS` singleton when :meth:`Engine.run` exits, so harnesses
+    (``python -m repro bench``, ``scripts/regenerate_results.py``) can
+    total heap traffic over the many short-lived Worlds a sweep creates.
+    """
+
+    __slots__ = ("events_popped", "events_coalesced", "events_cancelled", "peak_heap")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.events_popped = 0
+        self.events_coalesced = 0
+        self.events_cancelled = 0
+        self.peak_heap = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "events_popped": self.events_popped,
+            "events_coalesced": self.events_coalesced,
+            "events_cancelled": self.events_cancelled,
+            "peak_heap": self.peak_heap,
+        }
+
+
+#: Module-level accumulator (see :class:`SimStats`).
+STATS = SimStats()
+
+
 class Engine:
     """Owns simulated time and the pending-event heap."""
+
+    __slots__ = (
+        "_now", "_heap", "_seq", "_active_process", "_crashed",
+        "obs", "_trace_shim", "on_step", "_timeout_pool",
+        "events_popped", "events_coalesced", "events_cancelled", "peak_heap",
+        "_flushed", "__weakref__",
+    )
 
     def __init__(self, trace: bool = False) -> None:
         self._now: float = 0.0
@@ -41,6 +89,18 @@ class Engine:
         #: popped event, in pop order.  The argument triple *is* the heap
         #: tie-break key — the determinism regression test hashes it.
         self.on_step: Optional[Callable[[float, int, int], None]] = None
+        #: Free-list of recyclable timeouts (see events._PooledTimeout).
+        self._timeout_pool: List[_PooledTimeout] = []
+        #: Events popped and dispatched (cancelled pops excluded).
+        self.events_popped: int = 0
+        #: Events the fast paths avoided scheduling altogether (e.g. waves
+        #: collapsed by the coalesced-signalling layer).
+        self.events_coalesced: int = 0
+        #: Lazily-deleted entries skipped on pop (Event.cancel).
+        self.events_cancelled: int = 0
+        #: High-water mark of the pending-event heap.
+        self.peak_heap: int = 0
+        self._flushed = [0, 0, 0]  # popped/coalesced/cancelled already in STATS
         obs_bus.note_engine(self)
         if trace:
             warnings.warn(
@@ -70,6 +130,47 @@ class Engine:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def timeout_at(self, time: float, value: Any = None) -> Event:
+        """An event firing at *absolute* simulated time ``time`` (>= now).
+
+        The coalescing layer folds per-wave delays into absolute wake
+        times using the same left-to-right float additions the exact
+        per-wave loop performs; scheduling at that absolute time — rather
+        than ``timeout(t_end - now)``, which re-rounds — keeps every wake
+        timestamp bit-identical to the exact path's.
+        """
+        if time < self._now:
+            raise ValueError(f"timeout_at in the past: {time} < {self._now}")
+        ev = Event(self)
+        ev._triggered = True
+        ev._value = value
+        self._seq += 1
+        heap = self._heap
+        heapq.heappush(heap, (time, 1, self._seq, ev))  # PRIORITY_NORMAL
+        if len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
+        return ev
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A timeout from the engine's free-list (engine-internal).
+
+        Behaves exactly like :meth:`timeout` but the object is recycled
+        once its callbacks ran; callers must not retain it past firing.
+        Used by ``Process`` for coerced ``yield <number>`` waits — the
+        allocation hot spot of the partition sweeps.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return _PooledTimeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        t = pool.pop()
+        t.delay = delay
+        t._triggered = True
+        t._value = value
+        self._schedule_event(t, 1, delay=delay)  # PRIORITY_NORMAL
+        return t
+
     def process(self, gen: Generator, name: Optional[str] = None) -> Process:
         """Spawn ``gen`` as a process starting at the current time."""
         return Process(self, gen, name=name)
@@ -77,7 +178,10 @@ class Engine:
     # -- scheduling internals ---------------------------------------------------
     def _schedule_event(self, ev: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, ev))
+        heap = self._heap
+        heapq.heappush(heap, (self._now + delay, priority, self._seq, ev))
+        if len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
 
     def _crash(self, process: Process, exc: BaseException) -> None:
         if self._crashed is None:
@@ -106,21 +210,46 @@ class Engine:
         """
         return self._trace_shim.lines if self._trace_shim is not None else []
 
+    @property
+    def coalescing(self) -> bool:
+        """True when event-coalescing fast paths may run (DESIGN.md §11).
+
+        Coalescing collapses pops that have *no observable effect* — so it
+        is only legal when nothing can observe individual pops: no attached
+        bus, no ``on_step`` hook, no ambient bus (whose presence arms the
+        sanitizer's record hooks even before a subscriber appears).  The
+        ``REPRO_NO_COALESCE`` environment variable (any non-empty value)
+        forces the exact path for A/B equivalence testing.
+        """
+        return (
+            self.obs is None
+            and self.on_step is None
+            and obs_bus._AMBIENT is None
+            and not os.environ.get("REPRO_NO_COALESCE")
+        )
+
     # -- main loop ------------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event."""
-        time, _prio, _seq, ev = heapq.heappop(self._heap)
-        if time < self._now:  # pragma: no cover - defensive
-            raise RuntimeError("time went backwards")
-        self._now = time
-        if self.on_step is not None:
-            self.on_step(time, _prio, _seq)
-        if self.obs is not None:
-            self.obs.instant("engine", "step", None, t=time, prio=_prio, seq=_seq)
-        ev._run_callbacks()
-        if self._crashed is not None:
-            crashed, self._crashed = self._crashed, None
-            raise crashed
+        """Process the single next live event (skipping cancelled entries)."""
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, ev = heapq.heappop(heap)
+            if ev._cancelled:
+                self.events_cancelled += 1
+                continue
+            if time < self._now:  # pragma: no cover - defensive
+                raise RuntimeError("time went backwards")
+            self._now = time
+            self.events_popped += 1
+            if self.on_step is not None:
+                self.on_step(time, _prio, _seq)
+            if self.obs is not None:
+                self.obs.instant("engine", "step", None, t=time, prio=_prio, seq=_seq)
+            ev._run_callbacks()
+            if self._crashed is not None:
+                crashed, self._crashed = self._crashed, None
+                raise crashed
+            return
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until ``until`` (an Event, a time, or None for exhaustion).
@@ -129,37 +258,140 @@ class Engine:
         :class:`~repro.sim.process.ProcessFailed` if an unwaited process
         crashed, or the original exception if ``until`` itself failed.
         """
-        if until is None:
-            while self._heap:
+        try:
+            if until is None:
+                return self._run_exhaust()
+            if isinstance(until, Event):
+                return self._run_until_event(until)
+            return self._run_horizon(float(until))
+        finally:
+            self._flush_stats()
+
+    def _run_exhaust(self) -> None:
+        heap = self._heap
+        if self.on_step is not None or self.obs is not None:
+            while heap:
                 self.step()
             return None
+        pop = heapq.heappop
+        popped = cancelled = 0
+        try:
+            while heap:
+                time, _prio, _seq, ev = pop(heap)
+                if ev._cancelled:
+                    cancelled += 1
+                    continue
+                self._now = time
+                popped += 1
+                ev._run_callbacks()
+                if self._crashed is not None:
+                    crashed, self._crashed = self._crashed, None
+                    raise crashed
+        finally:
+            self.events_popped += popped
+            self.events_cancelled += cancelled
+        return None
 
-        if isinstance(until, Event):
-            done = []
-            until.add_callback(done.append)
-            while not done:
-                if not self._heap:
-                    raise EmptySchedule(
-                        f"no more events at t={self._now}; target event never fired"
-                    )
-                self.step()
-            if until.ok:
-                return until.value
-            exc = until.value
-            raise exc if isinstance(exc, BaseException) else RuntimeError(repr(exc))
+    def _run_until_event(self, until: Event) -> Any:
+        done: List[Event] = []
+        waiter = done.append
+        until.add_callback(waiter)
+        heap = self._heap
+        try:
+            if self.on_step is not None or self.obs is not None:
+                while not done:
+                    if not heap:
+                        raise EmptySchedule(
+                            f"no more events at t={self._now}; target event never fired"
+                        )
+                    self.step()
+            else:
+                pop = heapq.heappop
+                popped = cancelled = 0
+                try:
+                    while not done:
+                        if not heap:
+                            raise EmptySchedule(
+                                f"no more events at t={self._now}; "
+                                "target event never fired"
+                            )
+                        time, _prio, _seq, ev = pop(heap)
+                        if ev._cancelled:
+                            cancelled += 1
+                            continue
+                        self._now = time
+                        popped += 1
+                        ev._run_callbacks()
+                        if self._crashed is not None:
+                            crashed, self._crashed = self._crashed, None
+                            raise crashed
+                finally:
+                    self.events_popped += popped
+                    self.events_cancelled += cancelled
+        finally:
+            # A propagating exception must not leave our waiter registered:
+            # re-waiting the same event would then observe duplicate appends.
+            if not done and until.callbacks is not None:
+                try:
+                    until.callbacks.remove(waiter)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        if until.ok:
+            return until.value
+        exc = until.value
+        raise exc if isinstance(exc, BaseException) else RuntimeError(repr(exc))
 
-        # numeric horizon
-        horizon = float(until)
+    def _run_horizon(self, horizon: float) -> None:
         if horizon < self._now:
             raise ValueError(f"cannot run to the past: {horizon} < {self._now}")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        heap = self._heap
+        if self.on_step is not None or self.obs is not None:
+            while heap and heap[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        pop = heapq.heappop
+        popped = cancelled = 0
+        try:
+            while heap and heap[0][0] <= horizon:
+                time, _prio, _seq, ev = pop(heap)
+                if ev._cancelled:
+                    cancelled += 1
+                    continue
+                self._now = time
+                popped += 1
+                ev._run_callbacks()
+                if self._crashed is not None:
+                    crashed, self._crashed = self._crashed, None
+                    raise crashed
+        finally:
+            self.events_popped += popped
+            self.events_cancelled += cancelled
         self._now = horizon
         return None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next *live* scheduled event, or +inf when idle.
+
+        Lazily-deleted (cancelled) entries are dropped from the heap front
+        here, so they are never visible to callers.
+        """
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+            self.events_cancelled += 1
+        return heap[0][0] if heap else float("inf")
+
+    def _flush_stats(self) -> None:
+        flushed = self._flushed
+        STATS.events_popped += self.events_popped - flushed[0]
+        STATS.events_coalesced += self.events_coalesced - flushed[1]
+        STATS.events_cancelled += self.events_cancelled - flushed[2]
+        if self.peak_heap > STATS.peak_heap:
+            STATS.peak_heap = self.peak_heap
+        flushed[0] = self.events_popped
+        flushed[1] = self.events_coalesced
+        flushed[2] = self.events_cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self._now:.9f} pending={len(self._heap)}>"

@@ -27,7 +27,10 @@ class Event:
     the success payload or the failure exception.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = (
+        "engine", "callbacks", "_value", "_ok", "_triggered", "_processed",
+        "_cancelled",
+    )
 
     _PENDING = object()
 
@@ -38,6 +41,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -84,6 +88,21 @@ class Event:
         self.engine._schedule_event(self, priority)
         return self
 
+    def cancel(self) -> bool:
+        """Lazily delete a scheduled-but-unprocessed event from the heap.
+
+        The heap entry stays put (removing from the middle of a binary heap
+        is O(n)); the engine skips it on pop without advancing time or
+        running callbacks, and :meth:`Engine.peek` never reports it.  Only
+        an event with no remaining waiters should be cancelled — callbacks
+        registered on it will silently never fire.  Returns True when the
+        event was actually pending on the heap.
+        """
+        if not self._triggered or self._processed or self._cancelled:
+            return False
+        self._cancelled = True
+        return True
+
     # -- engine internals ---------------------------------------------------
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -118,6 +137,37 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         engine._schedule_event(self, PRIORITY_NORMAL, delay=delay)
+
+
+#: Upper bound on an engine's timeout free-list (see Engine._timeout_pool).
+POOL_MAX = 256
+
+
+class _PooledTimeout(Timeout):
+    """A recyclable timeout for the process-coercion hot path.
+
+    ``Process._coerce`` turns every ``yield <number>`` / ``yield None``
+    into a fresh Timeout that is waited on exactly once and becomes
+    garbage the moment its callbacks ran.  Pooled timeouts return
+    themselves to their engine's free-list instead, so the Figs 4-7
+    sweeps stop churning allocations.  They are engine-internal: nothing
+    outside :class:`~repro.sim.process.Process` may hold one past its
+    firing, because the object is reborn as a different timeout.
+    """
+
+    __slots__ = ()
+
+    def _run_callbacks(self) -> None:
+        Event._run_callbacks(self)
+        pool = self.engine._timeout_pool
+        if len(pool) < POOL_MAX:
+            self.callbacks = []
+            self._value = Event._PENDING
+            self._ok = True
+            self._triggered = False
+            self._processed = False
+            self._cancelled = False
+            pool.append(self)
 
 
 class ConditionError(Exception):

@@ -74,6 +74,10 @@ class Process(Event):
                     target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
+                # A timed-out wait nobody else observes is dead weight on
+                # the heap; lazy-delete it so the engine skips the pop.
+                if not target.callbacks and isinstance(target, Timeout):
+                    target.cancel()
         wake = Event(self.engine)
         wake.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
         wake.succeed(None, priority=PRIORITY_URGENT)
@@ -112,10 +116,12 @@ class Process(Event):
     def _coerce(self, target: Any) -> Event:
         if isinstance(target, Event):
             return target
+        # Coerced waits are anonymous and single-waiter, so they draw from
+        # the engine's timeout free-list instead of allocating.
         if target is None:
-            return Timeout(self.engine, 0.0)
+            return self.engine.pooled_timeout(0.0)
         if isinstance(target, (int, float)):
-            return Timeout(self.engine, float(target))
+            return self.engine.pooled_timeout(float(target))
         raise TypeError(f"process {self.name!r} yielded unsupported {target!r}")
 
     def _wait_on(self, target: Event) -> None:

@@ -134,6 +134,75 @@ def test_other_append_calls_pass():
     assert lint_source(src, "sim/x.py") == []
 
 
+# -- eager-obs-payload -------------------------------------------------------
+
+EAGER = """
+def f(engine, x):
+    engine.trace(f"value={x}")
+"""
+
+GUARDED = """
+def f(engine, x):
+    obs = engine.obs
+    if obs is not None:
+        obs.instant("lane", f"value={x}", ("gpu", 0))
+"""
+
+GUARDED_DOTTED = """
+def f(self, x):
+    if self.engine.obs is not None:
+        self.engine.obs.instant("lane", f"value={x}", ("gpu", 0))
+"""
+
+EAGER_KWARG = """
+def f(obs, x):
+    obs.span("lane", "name", ("gpu", 0), 0.0, 1.0, detail=f"x={x}")
+"""
+
+PLAIN_PAYLOAD = """
+def f(engine, x):
+    engine.trace("launch", grid=x)
+"""
+
+ELSE_BRANCH = """
+def f(engine, x):
+    if engine.obs is not None:
+        pass
+    else:
+        engine.trace(f"value={x}")
+"""
+
+
+def test_eager_fstring_trace_flagged():
+    findings = lint_source(EAGER, "sim/x.py")
+    assert _checks(findings) == ["eager-obs-payload"]
+    assert "f-string" in findings[0].message
+
+
+def test_guarded_fstring_passes():
+    assert lint_source(GUARDED, "cuda/x.py") == []
+
+
+def test_guarded_dotted_obs_passes():
+    assert lint_source(GUARDED_DOTTED, "mpi/x.py") == []
+
+
+def test_eager_fstring_kwarg_flagged():
+    assert _checks(lint_source(EAGER_KWARG, "sim/x.py")) == ["eager-obs-payload"]
+
+
+def test_plain_payload_passes():
+    assert lint_source(PLAIN_PAYLOAD, "sim/x.py") == []
+
+
+def test_else_branch_not_guarded():
+    assert _checks(lint_source(ELSE_BRANCH, "sim/x.py")) == ["eager-obs-payload"]
+
+
+def test_eager_rule_unscoped_files_exempt():
+    assert lint_source(EAGER, "bench/x.py", scoped=False) == []
+
+
 # -- drivers -----------------------------------------------------------------
 
 def test_seeded_wallclock_file_fails(tmp_path, capsys):

@@ -105,6 +105,90 @@ def test_peek(engine):
     assert engine.peek() == 4.0
 
 
+def test_peek_inf_after_exhaustion(engine):
+    """Exhausting the schedule returns peek() to +inf, not a stale head."""
+    engine.timeout(4.0)
+    engine.run()
+    assert engine.now == 4.0
+    assert engine.peek() == float("inf")
+
+
+def test_run_horizon_past_exhaustion_advances_now(engine):
+    """run(until=T) past the last event still lands now exactly on T."""
+    done = []
+
+    def proc():
+        yield engine.timeout(1.0)
+        done.append(engine.now)
+
+    engine.process(proc())
+    engine.run(until=10.0)
+    assert done == [1.0]
+    assert engine.now == 10.0
+    # And again with nothing scheduled at all.
+    engine.run(until=12.5)
+    assert engine.now == 12.5
+
+
+def test_cancelled_entries_invisible_to_peek(engine):
+    t1 = engine.timeout(1.0)
+    engine.timeout(2.0)
+    assert engine.peek() == 1.0
+    assert t1.cancel() is True
+    assert engine.peek() == 2.0
+    assert engine.events_cancelled == 1
+
+
+def test_cancelled_timeout_never_fires(engine):
+    fired = []
+    t1 = engine.timeout(1.0)
+    t1.add_callback(lambda ev: fired.append("cancelled"))
+    engine.timeout(2.0).add_callback(lambda ev: fired.append("kept"))
+    t1.cancel()
+    engine.run()
+    assert fired == ["kept"]
+    assert engine.now == 2.0
+
+
+def test_cancel_is_idempotent_and_rejects_processed(engine):
+    t = engine.timeout(1.0)
+    engine.run()
+    assert t.cancel() is False  # already processed
+    ev = engine.event()
+    assert ev.cancel() is False  # never scheduled
+    t2 = engine.timeout(1.0)
+    assert t2.cancel() is True
+    assert t2.cancel() is False  # second cancel is a no-op
+
+
+def test_timeout_at_schedules_absolute(engine):
+    engine.timeout(1.0)
+    engine.run()
+    ev = engine.timeout_at(3.5, value="abs")
+    got = engine.run(ev)
+    assert got == "abs"
+    assert engine.now == 3.5
+
+
+def test_timeout_at_in_the_past_rejected(engine):
+    engine.timeout(2.0)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.timeout_at(1.0)
+
+
+def test_pooled_timeout_recycled(engine):
+    """A fired pooled timeout returns to the free-list and is reborn."""
+    t1 = engine.pooled_timeout(1.0)
+    engine.run()
+    t2 = engine.pooled_timeout(2.0)
+    assert t2 is t1  # same object, recycled
+    got = []
+    t2.add_callback(lambda ev: got.append(engine.now))
+    engine.run()
+    assert got == [3.0]
+
+
 def test_determinism_two_identical_runs():
     """Identical programs produce identical event traces."""
 
