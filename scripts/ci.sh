@@ -12,7 +12,7 @@ PYTHONPATH=src python -m pytest -x -q -m smoke
 
 echo "== bench smoke (event-loop traffic vs recorded ceiling) =="
 PYTHONPATH=src python -m repro bench \
-    --against BENCH_pr4.json --out /tmp/repro_bench_smoke.json
+    --against BENCH_pr5.json --out /tmp/repro_bench_smoke.json
 
 echo "== profile smoke (Chrome trace_event export) =="
 PYTHONPATH=src python -m repro profile examples/pingpong_partitioned.py \

@@ -102,7 +102,9 @@ def _fenced_copy(device: "Device", src: Buffer, dst: Buffer, name: str, actor=No
     def proc():
         record.access(actor, src, write=False, note=name)
         record.access(actor, dst, write=True, note=name)
-        yield device.fabric.transfer(src, dst, name=name)
+        yield device.fabric.dataplane.put(
+            src, dst, traffic_class="cuda", initiator="device", name=name
+        )
         yield device.engine.timeout(device.fabric.config.params.kc_fence_overhead)
 
     ev = device.engine.process(proc(), name=name)

@@ -133,7 +133,9 @@ class Device:
         stream = stream or self.default_stream
 
         def op():
-            yield self.fabric.transfer(src, dst, name="memcpy")
+            yield self.fabric.dataplane.put(
+                src, dst, traffic_class="cuda", name="memcpy"
+            )
 
         return stream.enqueue(op, label="memcpy")
 

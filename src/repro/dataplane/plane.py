@@ -1,0 +1,195 @@
+"""The Dataplane: every simulated byte's single submission point.
+
+Producers hand a validated :class:`TransferDescriptor` to :meth:`submit`
+(or the :meth:`put` / :meth:`rma_put` / :meth:`control` conveniences).
+The dataplane resolves the primary route through the owning
+:class:`~repro.hw.topology.Fabric`'s memoized route cache, asks the
+active :class:`~repro.dataplane.policy.PathPolicy` for a stripe plan,
+accounts the submission in the per-class ledger, and spawns one
+cut-through transfer process per stripe.  A one-stripe plan executes
+exactly like the pre-dataplane ``start_transfer`` call; a multi-stripe
+plan completes at the max of the stripe arrivals (an ``AllOf``).
+
+Host-mediated RMA descriptors (``rma_put``) between IPC-mappable device
+peers stage through the source GPU's copy engine with the cuda_ipc
+per-op setup cost — the mechanism the paper's Kernel-Copy design
+bypasses (Section IV-A4) — before their wire stripes are planned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.dataplane.descriptor import TransferDescriptor
+from repro.dataplane.ledger import Ledger
+from repro.dataplane.policy import PathPolicy, policy_from_env
+from repro.hw.links import start_transfer
+from repro.hw.memory import Buffer, MemSpace
+from repro.hw.spec.graph import Port, RouteSearchError
+from repro.sim.events import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.topology import Fabric
+
+
+class Dataplane:
+    """Route resolution + policy execution + accounting for one machine."""
+
+    def __init__(self, fabric: "Fabric", policy: Optional[PathPolicy] = None) -> None:
+        self.fabric = fabric
+        self.engine = fabric.engine
+        self.ledger = Ledger()
+        self.policy: PathPolicy = (
+            policy if policy is not None
+            else policy_from_env(os.environ.get("REPRO_PATH_POLICY"))
+        )
+        #: (src-port, dst-port, max_paths) -> link-disjoint route tuple.
+        self._multi_route_cache: Dict[Tuple[Port, Port, int], Tuple] = {}
+        #: Descriptors submitted (asserted by tests; stripes live in the ledger).
+        self.submissions = 0
+
+    # -- producer surface --------------------------------------------------------
+    def put(
+        self,
+        src: Buffer,
+        dst: Buffer,
+        traffic_class: str = "payload",
+        name: str = "xfer",
+        initiator: str = "host",
+    ) -> Event:
+        """Move ``src``'s payload into ``dst``; event fires when data landed."""
+        return self.submit(TransferDescriptor(
+            src, dst, traffic_class=traffic_class, name=name, initiator=initiator,
+        ))
+
+    def rma_put(
+        self,
+        src: Buffer,
+        dst: Buffer,
+        traffic_class: str = "rma",
+        name: str = "put",
+    ) -> Event:
+        """A put issued by *host* software (UCX put_nbx, MPI rendezvous).
+
+        Device-to-device payloads between peers that can IPC-map each
+        other ride the cuda_ipc path: a host-mediated async copy through
+        the source GPU's copy engine, paying the per-op setup cost.
+        Everything else (host buffers, same-GPU, inter-node GPUDirect,
+        no-P2P staging) is a plain transfer.
+        """
+        desc = TransferDescriptor(
+            src, dst, traffic_class=traffic_class, name=name, initiator="host",
+        ).validate()
+        self.submissions += 1
+        if self._rides_copy_engine(desc):
+            return self._staged_execute(desc)
+        return self._execute(desc)
+
+    def control(
+        self,
+        src: Buffer,
+        dst: Buffer,
+        nbytes: int,
+        traffic_class: str = "control",
+        name: str = "ctrl",
+        initiator: str = "host",
+    ) -> Event:
+        """Timed transfer of ``nbytes`` along the src->dst route, no payload.
+
+        Used for control messages (flags, setup packets) whose logical
+        content is applied by the caller on completion.
+        """
+        return self.submit(TransferDescriptor(
+            src, dst, nbytes=nbytes, payload=False,
+            traffic_class=traffic_class, name=name, initiator=initiator,
+        ))
+
+    def submit(self, desc: TransferDescriptor) -> Event:
+        """Validate, plan, account, and launch one descriptor."""
+        desc.validate()
+        self.submissions += 1
+        return self._execute(desc)
+
+    # -- execution ---------------------------------------------------------------
+    def _execute(self, desc: TransferDescriptor) -> Event:
+        primary = self.fabric.route(desc.src, desc.dst)
+        stripes = self.policy.plan(self, desc, primary)
+        self.ledger.account(desc, stripes)
+        if len(stripes) == 1:
+            stripe = stripes[0]
+            return start_transfer(
+                self.engine, stripe.route, stripe.nbytes,
+                on_wire_done=stripe.on_wire_done, name=desc.name,
+            )
+        parts = [
+            start_transfer(
+                self.engine, stripe.route, stripe.nbytes,
+                on_wire_done=stripe.on_wire_done, name=f"{desc.name}.s{i}",
+            )
+            for i, stripe in enumerate(stripes)
+        ]
+        return AllOf(self.engine, parts)
+
+    def _rides_copy_engine(self, desc: TransferDescriptor) -> bool:
+        src, dst = desc.src, desc.dst
+        return (
+            src.space is MemSpace.DEVICE
+            and dst.space is MemSpace.DEVICE
+            and src.gpu != dst.gpu
+            and src.gpu is not None
+            and dst.gpu is not None
+            and self.fabric.topo.can_peer_map(src.gpu, dst.gpu)
+        )
+
+    def _staged_execute(self, desc: TransferDescriptor) -> Event:
+        overhead = self.fabric.config.params.cuda_ipc_put_overhead
+        engine_res = self.fabric.copy_engine[desc.src.gpu]
+        engine = self.engine
+
+        def staged():
+            yield engine_res.acquire()
+            obs = engine.obs
+            t0 = engine.now
+            try:
+                yield engine.timeout(overhead)
+                yield self._execute(desc)
+            finally:
+                if obs is not None:
+                    obs.span(
+                        "copy_engine", engine_res.name, None,
+                        t0, engine.now, nbytes=desc.wire_bytes,
+                    )
+                engine_res.release()
+
+        return engine.process(staged(), name=desc.name)
+
+    # -- multi-route discovery ----------------------------------------------------
+    def disjoint_routes(self, src: Buffer, dst: Buffer, max_paths: int) -> Tuple:
+        """Up to ``max_paths`` pairwise link-disjoint routes, primary first.
+
+        Greedy peeling over the link graph: resolve the fewest-links
+        route, exclude every link it claims, search again — until the
+        graph runs out of paths or ``max_paths`` is reached.  Memoized
+        per (src-port, dst-port, max_paths); fully deterministic (the
+        underlying search breaks ties by adjacency insertion order).
+        """
+        sport = self.fabric._endpoint(src)
+        dport = self.fabric._endpoint(dst)
+        cache_key = (sport, dport, max_paths)
+        cached = self._multi_route_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        routes = [self.fabric.route(src, dst)]
+        if sport != dport:
+            used = set(routes[0])
+            while len(routes) < max_paths:
+                try:
+                    alt = self.fabric.graph.search(sport, dport, exclude=used)
+                except RouteSearchError:
+                    break
+                routes.append(alt)
+                used.update(alt)
+        result = tuple(routes)
+        self._multi_route_cache[cache_key] = result
+        return result

@@ -166,12 +166,16 @@ class LinkGraph:
                 self._edge(net, ("pag", n), inn, rx)
 
     # -- search --------------------------------------------------------------
-    def search(self, src: Port, dst: Port) -> Tuple[Link, ...]:
+    def search(self, src: Port, dst: Port, exclude=()) -> Tuple[Link, ...]:
         """Fewest-links path ``src -> dst`` (deterministic tie-break).
 
         Uniform-cost search over the adjacency lists; cost is the number
         of links acquired, ties resolved by insertion order.  Same-port
         routes use the port's self-route (HBM copy, DRAM tx/rx bounce).
+
+        ``exclude`` is a collection of links the path may not acquire —
+        the dataplane's multi-path discovery peels link-disjoint routes
+        by re-searching with every previously claimed link excluded.
         """
         if src == dst:
             route = self.self_routes.get(src)
@@ -189,9 +193,13 @@ class LinkGraph:
             if port == dst:
                 return route
             for nxt, links in self.adj.get(port, ()):
-                if nxt not in settled:
-                    seq += 1
-                    heapq.heappush(heap, (cost + len(links), seq, nxt, route + links))
+                if nxt in settled:
+                    continue
+                if exclude and any(link in exclude for link in links):
+                    continue
+                seq += 1
+                heapq.heappush(heap, (cost + len(links), seq, nxt, route + links))
         raise RouteSearchError(
             f"no path from {src} to {dst} in machine spec {self.spec.name!r}"
+            + (" avoiding excluded links" if exclude else "")
         )

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Union
 
-from repro.hw.links import Link, start_transfer
+from repro.dataplane.plane import Dataplane
+from repro.hw.links import Link
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.params import TestbedConfig
 from repro.hw.spec.catalog import as_spec
@@ -135,6 +136,12 @@ class Fabric:
             for g in range(self.topo.n_gpus)
         }
 
+        #: The single submission point for every simulated byte; the
+        #: legacy transfer methods below delegate here.  Path selection
+        #: (single route vs link-disjoint striping) is the dataplane
+        #: policy's call — see repro.dataplane and DESIGN.md §12.
+        self.dataplane = Dataplane(self)
+
     # -- link registry ---------------------------------------------------------
     def iter_links(self):
         """Every link of the machine, in registration order."""
@@ -184,6 +191,10 @@ class Fabric:
         return cached
 
     # -- transfers --------------------------------------------------------------
+    # Compatibility shims: the dataplane owns execution (descriptor
+    # validation, path policy, per-class ledger).  Producers inside
+    # repro.* submit descriptors with their own traffic classes; these
+    # keep the historic Fabric surface for tests and external callers.
     def transfer(self, src: Buffer, dst: Buffer, name: str = "xfer") -> Event:
         """Move ``src``'s payload into ``dst``; event fires when data landed.
 
@@ -191,18 +202,7 @@ class Fabric:
         waits for the event observes the new data and a reader that races
         observes the old data — matching RMA visibility semantics.
         """
-        if len(src.data) != len(dst.data):
-            raise ValueError(
-                f"transfer size mismatch: {len(src.data)} vs {len(dst.data)} elements"
-            )
-        route = self.route(src, dst)
-        return start_transfer(
-            self.engine,
-            route,
-            src.nbytes,
-            on_wire_done=lambda: dst.copy_from(src),
-            name=name,
-        )
+        return self.dataplane.put(src, dst, name=name)
 
     def host_initiated_transfer(self, src: Buffer, dst: Buffer, name: str = "hxfer") -> Event:
         """A transfer issued by *host* software (UCX put, MPI rendezvous).
@@ -214,35 +214,7 @@ class Fabric:
         Everything else (host buffers, same-GPU, inter-node GPUDirect,
         no-P2P staging) is a plain transfer.
         """
-        cuda_ipc = (
-            src.space is MemSpace.DEVICE
-            and dst.space is MemSpace.DEVICE
-            and src.gpu != dst.gpu
-            and src.gpu is not None
-            and dst.gpu is not None
-            and self.topo.can_peer_map(src.gpu, dst.gpu)
-        )
-        if not cuda_ipc:
-            return self.transfer(src, dst, name=name)
-        overhead = self.config.params.cuda_ipc_put_overhead
-        engine_res = self.copy_engine[src.gpu]
-
-        def staged():
-            yield engine_res.acquire()
-            obs = self.engine.obs
-            t0 = self.engine.now
-            try:
-                yield self.engine.timeout(overhead)
-                yield self.transfer(src, dst, name=name)
-            finally:
-                if obs is not None:
-                    obs.span(
-                        "copy_engine", engine_res.name, None,
-                        t0, self.engine.now, nbytes=src.nbytes,
-                    )
-                engine_res.release()
-
-        return self.engine.process(staged(), name=name)
+        return self.dataplane.rma_put(src, dst, name=name)
 
     def transfer_bytes(self, src: Buffer, dst: Buffer, nbytes: int, name: str = "ctrl") -> Event:
         """Timed transfer of ``nbytes`` along src->dst route without payload.
@@ -250,8 +222,7 @@ class Fabric:
         Used for control messages (flags, setup packets) whose logical
         content is applied by the caller on completion.
         """
-        route = self.route(src, dst)
-        return start_transfer(self.engine, route, nbytes, name=name)
+        return self.dataplane.control(src, dst, nbytes, name=name)
 
     def gpu_distance(self, a: GpuId, b: GpuId) -> str:
         """'local' | 'nvlink' | 'ib' — used by protocol selection."""

@@ -164,14 +164,18 @@ def allreduce(
         penalty = rt.params.allreduce_bounce_penalty
         n_chunks = math.ceil(sendbuf.nbytes / bounce)
         yield rt.engine.timeout(n_chunks * penalty)
-        yield rt.fabric.transfer(sendbuf, host, name="ar_d2h")
+        yield rt.fabric.dataplane.put(
+            sendbuf, host, traffic_class="coll", name="ar_d2h"
+        )
         step_bytes = sendbuf.nbytes // comm.size
         step_chunks = max(1, math.ceil(step_bytes / bounce))
         yield from _ring_allreduce_host(
             comm, host.data, op, per_step_penalty=step_chunks * penalty
         )
         yield rt.engine.timeout(n_chunks * penalty)
-        yield rt.fabric.transfer(host, recvbuf, name="ar_h2d")
+        yield rt.fabric.dataplane.put(
+            host, recvbuf, traffic_class="coll", name="ar_h2d"
+        )
     else:
         recvbuf.copy_from(sendbuf)
         yield from _ring_allreduce_host(comm, recvbuf.data, op)
@@ -193,7 +197,9 @@ def reduce(
     if sendbuf.space.host_accessible:
         acc.data[:] = sendbuf.data
     else:
-        yield rt.fabric.transfer(sendbuf, acc, name="red_d2h")
+        yield rt.fabric.dataplane.put(
+            sendbuf, acc, traffic_class="coll", name="red_d2h"
+        )
 
     mask = 1
     while mask < size:
@@ -215,7 +221,9 @@ def reduce(
         if recvbuf.space.host_accessible:
             recvbuf.data[:] = acc.data
         else:
-            yield rt.fabric.transfer(acc, recvbuf, name="red_h2d")
+            yield rt.fabric.dataplane.put(
+                acc, recvbuf, traffic_class="coll", name="red_h2d"
+            )
 
 
 def allgather(comm: "Communicator", sendbuf: Buffer, recvbuf: Buffer) -> Generator:
@@ -229,7 +237,9 @@ def allgather(comm: "Communicator", sendbuf: Buffer, recvbuf: Buffer) -> Generat
     if own.space == sendbuf.space and own.node == sendbuf.node:
         own.copy_from(sendbuf)
     else:
-        yield rt.fabric.transfer(sendbuf, own, name="ag_local")
+        yield rt.fabric.dataplane.put(
+            sendbuf, own, traffic_class="coll", name="ag_local"
+        )
     if size == 1:
         yield rt.engine.timeout(rt.params.mpi_call_overhead)
         return

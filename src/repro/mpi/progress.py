@@ -121,7 +121,9 @@ class ProgressEngine:
             from repro.hw.memory import Buffer, MemSpace
 
             staged = Buffer(env.payload, MemSpace.PINNED, node=rt.node)
-            yield rt.fabric.transfer(staged, target, name="eager_h2d")
+            yield rt.fabric.dataplane.put(
+                staged, target, traffic_class="eager", name="eager_h2d"
+            )
         rt.recv_by_seq.pop(rreq.seq, None)
         rreq._complete({"protocol": "eager", "source": env.src, "tag": env.tag})
 
@@ -169,12 +171,16 @@ class ProgressEngine:
             bounce = buf.alloc_like(
                 len(buf.data), MemSpace.PINNED, node=buf.node, label="rndv_bounce"
             )
-            yield rt.fabric.transfer(buf, bounce, name="rndv_d2h")
+            yield rt.fabric.dataplane.put(
+                buf, bounce, traffic_class="rndv", name="rndv_d2h"
+            )
             buf = bounce
         # Host-initiated: a peer-mappable D2D pair pays the cuda_ipc
         # copy-engine path, same as the partitioned layer's puts (fair
         # baseline); otherwise the fabric stages through host links.
-        yield rt.fabric.host_initiated_transfer(buf, env.target, name="rndv_data")
+        yield rt.fabric.dataplane.rma_put(
+            buf, env.target, traffic_class="rndv", name="rndv_data"
+        )
         sreq._complete({"protocol": "rndv"})
         ep = yield from rt.ep_to(comm, sreq.dest)
         fin = Envelope(

@@ -200,7 +200,10 @@ class NcclComm:
                 # slot; raise its flag when the data lands (device flag).
                 src = recvbuf.view(send_chunk * chunk + c * sub, sub)
                 dst = state.slot((r + 1) % P, c, i)
-                put = fabric.transfer(src, dst, name=f"nccl_c{c}s{i}")
+                put = fabric.dataplane.put(
+                    src, dst, traffic_class="nccl", initiator="device",
+                    name=f"nccl_c{c}s{i}",
+                )
                 flag = state.flags[(r + 1) % P][c][i]
                 put.add_callback(lambda _ev, flag=flag: flag.set())
 

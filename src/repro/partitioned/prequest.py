@@ -221,7 +221,9 @@ def prequest_create(
     yield rt.engine.timeout(cost.memcpy_api_cost)
     staging = Buffer.alloc(64, np.int8, MemSpace.PINNED, node=rt.node)
     dev_struct = Buffer.alloc(64, np.int8, MemSpace.DEVICE, node=device.node, gpu=device.gpu_id)
-    yield rt.fabric.transfer(staging, dev_struct, name="preq_h2d")
+    yield rt.fabric.dataplane.put(
+        staging, dev_struct, traffic_class="part", name="preq_h2d"
+    )
 
     sreq.preq = preq
     if sreq.active:

@@ -232,7 +232,10 @@ class FusedPallreduce(PersistentRequest):
             # Direct SM stores into the right peer's mapped staging window.
             peer = self.clique.members[right]
             dst = peer._slot(u, i)
-            put = fabric.transfer(self._w_chunk(u, step.send_chunk), dst, name=f"fused_u{u}s{i}")
+            put = fabric.dataplane.put(
+                self._w_chunk(u, step.send_chunk), dst,
+                traffic_class="pcoll", initiator="device", name=f"fused_u{u}s{i}",
+            )
             flag = flags[right][u][i]
             put.add_callback(lambda _ev, flag=flag: flag.set())
 

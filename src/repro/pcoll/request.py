@@ -229,7 +229,9 @@ class PcollRequest(PersistentRequest):
     def _stage_partition(self, u: int) -> Generator:
         src = self.sendbuf.view(u * self.part_elems, self.part_elems)
         dst = self.recvbuf.view(u * self.part_elems, self.part_elems)
-        yield self.rt.fabric.transfer(src, dst, name="pcoll_stage")
+        yield self.rt.fabric.dataplane.put(
+            src, dst, traffic_class="pcoll", name="pcoll_stage"
+        )
         self.user_ready[u].set()
 
     def parrived(self, user_partition: int) -> bool:
@@ -284,7 +286,9 @@ class PcollRequest(PersistentRequest):
         if step.op is NOP:
             # Pure data movement: local device copy (DMA).
             yield self.engine.timeout(self.device.cost.memcpy_api_cost)
-            yield self.rt.fabric.transfer(slot, target, name="pcoll_copy")
+            yield self.rt.fabric.dataplane.put(
+                slot, target, traffic_class="pcoll", name="pcoll_copy"
+            )
         else:
             # Launch a reduction kernel and synchronize before the next
             # step may consume this chunk (numerical correctness — the

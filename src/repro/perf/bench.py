@@ -33,7 +33,7 @@ from repro.sim.engine import STATS
 DEFAULT_TOLERANCE = 0.05
 
 
-def _pingpong() -> None:
+def _pingpong() -> dict:
     from repro.hw.params import ONE_NODE
     from repro.mpi.world import World
 
@@ -49,7 +49,11 @@ def _pingpong() -> None:
                 yield from comm.recv(buf, source=peer, tag=1)
                 yield from comm.send(buf, dest=peer, tag=2)
 
-    World(ONE_NODE).run(main, nprocs=2)
+    world = World(ONE_NODE)
+    world.run(main, nprocs=2)
+    # Per-traffic-class accounting from the dataplane ledger: which
+    # subsystem moved how many bytes over this workload (deterministic).
+    return {"class_bytes": world.fabric.dataplane.ledger.as_dict()}
 
 
 def _fig4_decimated() -> None:
@@ -76,17 +80,44 @@ def _fig8_jacobi() -> None:
     figures.fig8(multipliers=(1, 4), iters=60)
 
 
+def _striping() -> dict:
+    """Single-path vs link-disjoint striped goodput, one large D2D point.
+
+    The 64 MiB intra-node point has four link-disjoint routes on the
+    GH200 mesh (direct NVLink, two NVLink detours, the C2C host path);
+    the recorded speedup is deterministic simulated goodput, not wall
+    clock, so it is stable across machines.
+    """
+    from repro.dataplane.bench import measure_stripe_goodput
+    from repro.units import MiB
+
+    single = measure_stripe_goodput(64 * MiB, "single")
+    multi = measure_stripe_goodput(64 * MiB, "multi")
+    return {
+        "single_GBps": round(single["goodput_Bps"] / 1e9, 2),
+        "multi_GBps": round(multi["goodput_Bps"] / 1e9, 2),
+        "stripes": multi["stripes"],
+        "stripe_speedup": round(multi["goodput_Bps"] / single["goodput_Bps"], 3),
+        "class_bytes": multi["ledger"],
+    }
+
+
 SUITE = {
     "pingpong": _pingpong,
     "fig4-decimated": _fig4_decimated,
     "fig5-decimated": _fig5_decimated,
     "fig5-131072-pe": _fig5_131072,
     "fig8-jacobi": _fig8_jacobi,
+    "striping-64MiB": _striping,
 }
 
 
 def run_suite(names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
-    """Run the selected entries; returns ``{entry: counters}``."""
+    """Run the selected entries; returns ``{entry: counters}``.
+
+    An entry may return a dict of extra deterministic metrics (per-class
+    byte ledgers, striping goodput); they are merged into its row.
+    """
     results: Dict[str, dict] = {}
     for name in names or SUITE:
         fn = SUITE.get(name)
@@ -94,11 +125,14 @@ def run_suite(names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
             raise KeyError(f"unknown bench suite entry {name!r}; have {sorted(SUITE)}")
         STATS.reset()
         t0 = time.perf_counter()
-        fn()
+        extra = fn()
         wall = time.perf_counter() - t0
         snap = STATS.snapshot()
         snap.pop("events_cancelled", None)
-        results[name] = {"wall_s": round(wall, 3), **snap}
+        row = {"wall_s": round(wall, 3), **snap}
+        if isinstance(extra, dict):
+            row.update(extra)
+        results[name] = row
     return results
 
 
@@ -137,7 +171,7 @@ def main(argv=None) -> int:
         prog="python -m repro bench",
         description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
     )
-    parser.add_argument("--pr", type=int, default=4, help="PR number for the output filename")
+    parser.add_argument("--pr", type=int, default=5, help="PR number for the output filename")
     parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
     parser.add_argument("--suite", help="comma-separated subset of suite entries")
     parser.add_argument(

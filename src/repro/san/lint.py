@@ -30,6 +30,14 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     even when no bus is attached and the call is a no-op.  On the hot
     path that wastes wall-clock on every unobserved run (DESIGN.md §11),
     so such payloads must sit under an ``... obs is not None`` guard.
+``fabric-bypass``
+    Every simulated byte moves through the dataplane (DESIGN.md §12).
+    Outside ``repro/dataplane`` and ``repro/hw``, no module may call
+    ``start_transfer`` (or import it from ``repro.hw.links``) nor invoke
+    the legacy ``fabric.transfer`` / ``fabric.host_initiated_transfer`` /
+    ``fabric.transfer_bytes`` shims — producers submit descriptors via
+    ``fabric.dataplane.put`` / ``rma_put`` / ``control`` so path policy
+    and per-class accounting see the traffic.
 """
 
 from __future__ import annotations
@@ -66,6 +74,11 @@ STATIC_CHECKS = {
         "eager-obs-payload", "static",
         "f-string payloads for trace/instant/span must sit under an "
         "'obs is not None' guard (they format even when unobserved)",
+    ),
+    "fabric-bypass": CheckInfo(
+        "fabric-bypass", "static",
+        "data movement outside repro/{dataplane,hw} must submit to the "
+        "dataplane (no start_transfer / legacy fabric.transfer* calls)",
     ),
 }
 
@@ -265,6 +278,60 @@ def _check_obs_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+#: Directories whose modules own the transfer machinery (exempt from
+#: fabric-bypass): the dataplane itself and the hw substrate under it.
+_DATAPLANE_OWNERS = {"dataplane", "hw"}
+_FABRIC_SHIM_METHODS = {"transfer", "host_initiated_transfer", "transfer_bytes"}
+_FABRIC_RECEIVERS = {"fabric", "fab"}
+
+
+def _owns_dataplane(path: str) -> bool:
+    return bool(_DATAPLANE_OWNERS & set(Path(path).parts))
+
+
+def _check_fabric_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
+    """Transfers issued around the dataplane choke point.
+
+    Flags, outside ``repro/dataplane`` and ``repro/hw``:
+
+    * ``start_transfer(...)`` calls and imports of it from
+      ``repro.hw.links`` — raw link driving;
+    * ``<...>.fabric.transfer(...)`` / ``.host_initiated_transfer(...)``
+      / ``.transfer_bytes(...)`` — the legacy Fabric shims, kept for
+      tests and external callers only.
+    """
+    found: List[LintFinding] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        found.append(LintFinding(
+            path, node.lineno, "fabric-bypass",
+            f"{what} bypasses the dataplane — submit a descriptor via "
+            "fabric.dataplane.put/rma_put/control so path policy and the "
+            "per-class ledger see the traffic (DESIGN.md §12)",
+        ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "start_transfer":
+                flag(node, "start_transfer() call")
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "start_transfer":
+                    flag(node, f"{_dotted(func) or 'start_transfer'}() call")
+                elif func.attr in _FABRIC_SHIM_METHODS:
+                    dotted = _dotted(func)
+                    if dotted is not None:
+                        receiver = dotted.split(".")[-2]
+                        if receiver in _FABRIC_RECEIVERS:
+                            flag(node, f"legacy {dotted}() call")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "repro.hw.links" and any(
+                a.name == "start_transfer" for a in node.names
+            ):
+                flag(node, "import of start_transfer")
+    return found
+
+
 _OBS_EMIT_ATTRS = {"trace", "instant", "span", "counter"}
 
 
@@ -361,6 +428,8 @@ def lint_source(
             found += _check_obs_bypass(tree, path)
         found += _check_eager_obs_payload(tree, path)
     found += _check_dropped_return(tree, path)
+    if not _owns_dataplane(path):
+        found += _check_fabric_bypass(tree, path)
     return found
 
 

@@ -53,12 +53,12 @@ class UcpEndpoint:
             )
         dst_view = target.view(offset_elems, len(src.data))
         self.puts_issued += 1
-        # Transport selection happens in the fabric: D2D puts between
+        # Transport selection happens in the dataplane: D2D puts between
         # peers that can IPC-map each other ride the host-mediated
         # cuda_ipc copy engine, everything else goes direct (shm /
         # rc_verbs GPUDirect / host-staged bounce on no-P2P machines).
-        done = self.fabric.host_initiated_transfer(
-            src, dst_view, name=f"put[{self.worker.name}]"
+        done = self.fabric.dataplane.rma_put(
+            src, dst_view, traffic_class="rma", name=f"put[{self.worker.name}]"
         )
         obs = self.engine.obs
         t_issue = self.engine.now
@@ -100,7 +100,9 @@ class UcpEndpoint:
             dst_probe = Buffer.alloc(
                 max(nbytes // 8, 1), space=_host_space(), node=self.remote.node
             )
-            wire = self.fabric.transfer_bytes(src_probe, dst_probe, nbytes, name="am")
+            wire = self.fabric.dataplane.control(
+                src_probe, dst_probe, nbytes, traffic_class="am", name="am"
+            )
 
             def deliver(ev: Event) -> None:
                 if ev.ok:

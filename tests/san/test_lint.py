@@ -203,6 +203,63 @@ def test_eager_rule_unscoped_files_exempt():
     assert lint_source(EAGER, "bench/x.py", scoped=False) == []
 
 
+# -- fabric-bypass -----------------------------------------------------------
+
+def test_direct_start_transfer_flagged():
+    src = (
+        "from repro.hw.links import start_transfer\n\n"
+        "def f(engine, route, n):\n"
+        "    return start_transfer(engine, route, n, name='x')\n"
+    )
+    findings = lint_source(src, "ucx/x.py", scoped=False)
+    assert _checks(findings) == ["fabric-bypass", "fabric-bypass"]
+    assert "dataplane" in findings[0].message
+
+
+def test_legacy_fabric_transfer_flagged():
+    src = "def f(rt, a, b):\n    return rt.fabric.transfer(a, b, name='x')\n"
+    findings = lint_source(src, "mpi/x.py")
+    assert _checks(findings) == ["fabric-bypass"]
+    assert "rt.fabric.transfer" in findings[0].message
+
+
+def test_legacy_fabric_shims_flagged_outside_core_packages():
+    # Producers outside CORE_PACKAGES (ucx, pcoll, nccl) are not exempt.
+    src = (
+        "def f(self, a, b, n):\n"
+        "    self.fabric.host_initiated_transfer(a, b)\n"
+        "    self.fabric.transfer_bytes(a, b, n)\n"
+    )
+    findings = lint_source(src, "ucx/x.py", scoped=False)
+    assert _checks(findings) == ["fabric-bypass", "fabric-bypass"]
+
+
+def test_dataplane_submission_passes():
+    src = (
+        "def f(rt, a, b, n):\n"
+        "    rt.fabric.dataplane.put(a, b, traffic_class='coll', name='x')\n"
+        "    rt.fabric.dataplane.rma_put(a, b)\n"
+        "    return rt.fabric.dataplane.control(a, b, n)\n"
+    )
+    assert lint_source(src, "mpi/x.py") == []
+
+
+def test_dataplane_and_hw_modules_exempt():
+    src = (
+        "from repro.hw.links import start_transfer\n\n"
+        "def f(engine, route, n):\n"
+        "    return start_transfer(engine, route, n, name='x')\n"
+    )
+    assert lint_source(src, "dataplane/plane.py", scoped=False) == []
+    assert lint_source(src, "hw/topology.py", scoped=False) == []
+
+
+def test_unrelated_transfer_methods_pass():
+    # .transfer on a non-fabric receiver is someone else's API.
+    src = "def f(bank, a, b):\n    return bank.transfer(a, b)\n"
+    assert lint_source(src, "mpi/x.py") == []
+
+
 # -- drivers -----------------------------------------------------------------
 
 def test_seeded_wallclock_file_fails(tmp_path, capsys):
