@@ -29,6 +29,17 @@ EOF
 echo "== repo-invariant lint (scripts/lint_repro.py) =="
 python scripts/lint_repro.py src/repro
 
+echo "== static analysis (python -m repro analyze) =="
+# Fails on any finding that is neither inline-suppressed nor in
+# analyze-baseline.json; also exports SARIF for CI annotation upload.
+PYTHONPATH=src python -m repro analyze --sarif /tmp/repro_analyze.sarif
+PYTHONPATH=src python - <<'EOF'
+import json
+from repro.analyze.sarif import validate_sarif
+validate_sarif(json.load(open("/tmp/repro_analyze.sarif")))
+print("analyze smoke: SARIF export valid")
+EOF
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
     ruff check src scripts tests examples

@@ -3,7 +3,9 @@
 
 Thin wrapper over :mod:`repro.san.lint` so it runs without installing the
 package: ``python scripts/lint_repro.py [paths...]``.  Exits non-zero on
-any finding; ``--list`` shows the checks.
+any finding; ``--list`` shows the full static-rule registry (shared with
+``python -m repro analyze``, which supersedes this shim for whole-program
+analysis).
 """
 
 import sys

@@ -6,6 +6,7 @@
     python -m repro all [--fast]         # everything -> RESULTS.md
     python -m repro san <script>         # sanitize a run (see repro.san)
     python -m repro san --list-checks
+    python -m repro analyze [--sarif out.sarif]   # static analysis (repro.analyze)
     python -m repro topo <spec>          # print/validate a machine spec
     python -m repro topo --list
     python -m repro profile <script> --chrome out.json --util --critical-path
@@ -26,6 +27,10 @@ def main(argv=None) -> int:
         from repro.san.cli import main as san_main
 
         return san_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analyze.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "topo":
         from repro.hw.spec.cli import main as topo_main
 

@@ -1,0 +1,66 @@
+"""The checked-in findings baseline (``analyze-baseline.json``).
+
+The baseline lets the analyzer land green on a repo with known,
+deliberate over-approximations *without* disabling whole rules: every
+baselined finding is pinned by its exact ``(rule, path, line)`` identity
+and keeps being reported under ``--no-baseline``.  Entries that no
+longer match anything are *stale* and reported, so the file can only
+shrink silently, never grow.
+
+Regenerate with ``python -m repro analyze --write-baseline`` after
+deliberate changes; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analyze.rules import Finding
+
+#: Default location, resolved relative to the working directory.
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+VERSION = 1
+
+
+def save(path: Path, findings: Iterable[Finding]) -> None:
+    entries = [
+        {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+        for f in findings
+    ]
+    payload = {"version": VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load(path: Path) -> Set[Tuple[str, str, int]]:
+    """The set of baselined (rule, path, line) identities."""
+    payload = json.loads(path.read_text())
+    if payload.get("version") != VERSION:
+        raise ValueError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {VERSION}"
+        )
+    return {
+        (e["rule"], e["path"], int(e["line"]))
+        for e in payload.get("findings", [])
+    }
+
+
+def split(
+    findings: Iterable[Finding], baselined: Set[Tuple[str, str, int]]
+) -> Tuple[List[Finding], List[Finding], List[Tuple[str, str, int]]]:
+    """-> (new findings, baseline-matched findings, stale baseline keys)."""
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    seen: Set[Tuple[str, str, int]] = set()
+    for f in findings:
+        key = f.key()
+        if key in baselined:
+            matched.append(f)
+            seen.add(key)
+        else:
+            new.append(f)
+    stale = sorted(baselined - seen)
+    return new, matched, stale

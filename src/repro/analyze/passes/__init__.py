@@ -1,0 +1,1 @@
+"""The analyzer's pass families (see repro.analyze.registry)."""

@@ -1,0 +1,159 @@
+"""Static happens-before approximation for partitioned communication.
+
+The dynamic sanitizer (``repro.san``) catches ``read-before-parrived``
+and ``send-overwrite`` only on paths the recorded run actually takes.
+This pass checks the *graph*: inside ``src/repro/partitioned/`` and
+``src/repro/pcoll/``, every partition-buffer access must be ordered by
+an arrival edge on **every** path, not just the ones a seed explores.
+
+``hb-read-unordered``
+    In a function that both waits for arrivals (``parrived`` /
+    ``wait`` / ``wait_for``) and touches partition buffer storage
+    (``...buf....data[...]`` subscripts, ``...buf....partition(...)``),
+    an access whose CFG node is **not dominated** by any wait: some
+    path reaches the access without ever passing an arrival edge.
+
+``hb-send-overwrite``
+    A write to partition buffer storage reachable from a ``pready``
+    call along a path containing **no** wait: the transport may still
+    be reading the partition when the write lands.
+
+Both rules deliberately over-approximate (coarse exception edges, no
+aliasing); a reviewed false positive is silenced with
+``# repro: ignore[hb-read-unordered]`` on the access line, never by
+disabling the rule.  Functions that only produce or only consume
+(no wait + access pair, no pready + write pair) are out of scope —
+ordering for those lives in their callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analyze.cfg import map_statements
+from repro.analyze.model import FunctionInfo, Project, dotted_name
+from repro.analyze.rules import Finding, Pass, Rule
+
+FAMILY = "hb-static"
+
+READ_UNORDERED = "hb-read-unordered"
+SEND_OVERWRITE = "hb-send-overwrite"
+
+RULES: Dict[str, Rule] = {
+    READ_UNORDERED: Rule(
+        READ_UNORDERED, FAMILY,
+        "partition-buffer access not dominated by a parrived/wait edge — "
+        "some path reads the partition before arrival",
+    ),
+    SEND_OVERWRITE: Rule(
+        SEND_OVERWRITE, FAMILY,
+        "partition-buffer write reachable from pready without an "
+        "intervening wait — the transport may still be reading it",
+    ),
+}
+
+#: Packages whose modules this family analyzes.
+HB_PACKAGES = ("partitioned", "pcoll")
+
+_WAIT_ATTRS = {"parrived", "wait", "wait_for"}
+
+
+def _in_scope(path: str) -> bool:
+    return bool(set(Path(path).parts) & set(HB_PACKAGES))
+
+
+def _is_buf_chain(node: ast.AST) -> bool:
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return any(
+        part in ("buf", "buffer") or part.endswith("_buf")
+        for part in dotted.split(".")
+    )
+
+
+def _classify(fi: FunctionInfo):
+    """-> (wait stmt-nodes, pready stmt-nodes, reads, writes).
+
+    Reads/writes are ``(cfg stmt-node, lineno, description)`` triples.
+    """
+    cfg = fi.cfg
+    stmt_of = map_statements(fi.node)
+
+    def node_of(expr: ast.AST):
+        stmt = stmt_of.get(id(expr))
+        return None if stmt is None else cfg.node_of_stmt.get(id(stmt))
+
+    waits: Set[int] = set()
+    preadys: List[Tuple[int, int]] = []
+    reads: List[Tuple[int, int, str]] = []
+    writes: List[Tuple[int, int, str]] = []
+
+    for node in fi.owned():
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            nid = node_of(node)
+            if nid is None:
+                continue
+            attr = node.func.attr
+            if attr in _WAIT_ATTRS:
+                waits.add(nid)
+            elif "pready" in attr:
+                preadys.append((nid, node.lineno))
+            elif attr == "partition" and _is_buf_chain(node.func.value):
+                reads.append((
+                    nid, node.lineno,
+                    f"{dotted_name(node.func) or 'partition'}(...)",
+                ))
+        elif isinstance(node, ast.Subscript) and _is_buf_chain(node.value):
+            nid = node_of(node)
+            if nid is None:
+                continue
+            desc = f"{dotted_name(node.value) or 'buffer'}[...]"
+            if isinstance(node.ctx, ast.Store):
+                writes.append((nid, node.lineno, desc))
+            else:
+                reads.append((nid, node.lineno, desc))
+    return waits, preadys, reads, writes
+
+
+def run(project: Project, enabled: Sequence[str]) -> List[Finding]:
+    enabled_set = set(enabled)
+    findings: List[Finding] = []
+    for fi in project.functions:
+        if not _in_scope(fi.path):
+            continue
+        waits, preadys, reads, writes = _classify(fi)
+
+        if READ_UNORDERED in enabled_set and waits and (reads or writes):
+            dom = fi.cfg.dominators()
+            for nid, lineno, desc in reads + writes:
+                if not (waits & dom.get(nid, set())):
+                    findings.append(Finding(
+                        READ_UNORDERED, fi.path, lineno,
+                        f"{desc} is not dominated by a "
+                        "parrived/wait call — a path reaches this access "
+                        "with no arrival ordering",
+                        fi.qualname,
+                    ))
+
+        if SEND_OVERWRITE in enabled_set and preadys and writes:
+            blocked = frozenset(waits)
+            flagged: Set[int] = set()
+            for pnode, plineno in preadys:
+                reach = fi.cfg.reachable_from(pnode, blocked=blocked)
+                for nid, lineno, desc in writes:
+                    if nid in reach and nid != pnode and lineno not in flagged:
+                        flagged.add(lineno)
+                        findings.append(Finding(
+                            SEND_OVERWRITE, fi.path, lineno,
+                            f"write to {desc} is reachable from the pready "
+                            f"at line {plineno} with no intervening wait — "
+                            "the transport may still be reading the partition",
+                            fi.qualname,
+                        ))
+    return findings
+
+
+PASS = Pass(family=FAMILY, rules=RULES, run=run)

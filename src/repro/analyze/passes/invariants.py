@@ -1,0 +1,42 @@
+"""The repo-invariant rules, migrated from :mod:`repro.san.lint`.
+
+The six historical checks (wallclock, raw-units, dropped-return,
+obs-bypass, eager-obs-payload, fabric-bypass) keep their ids, their
+summaries, and their exact findings — this pass calls the original
+per-module checkers so ``scripts/lint_repro.py`` (now a shim over the
+same code) and ``python -m repro analyze`` can never drift apart.  A
+test pins the equivalence (tests/analyze/test_migration.py).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.analyze.model import Project
+from repro.analyze.rules import Finding, Pass, Rule
+from repro.san.lint import STATIC_CHECKS, _in_core, lint_source
+
+FAMILY = "invariant"
+
+RULES: Dict[str, Rule] = {
+    cid: Rule(cid, FAMILY, info.summary) for cid, info in STATIC_CHECKS.items()
+}
+
+
+def run(project: Project, enabled: Sequence[str]) -> List[Finding]:
+    enabled_set = set(enabled)
+    findings: List[Finding] = []
+    for mod in project.modules:
+        path = Path(mod.path)
+        if path.name == "units.py":
+            continue  # the units helpers *define* the raw literals
+        for lf in lint_source(mod.source, mod.path, scoped=_in_core(path)):
+            if lf.check in enabled_set:
+                findings.append(
+                    Finding(lf.check, lf.path, lf.line, lf.message)
+                )
+    return findings
+
+
+PASS = Pass(family=FAMILY, rules=RULES, run=run)

@@ -1,0 +1,119 @@
+"""The pluggable rule framework: rules, findings, and the run driver.
+
+A *rule* is a catalogue entry (id, family, summary) owned by one *pass*
+— a function ``run(project, enabled_ids) -> [Finding]`` that may emit
+findings for any of its rules.  Passes share the :class:`Project` model
+(symbol tables, call graph, CFGs are built once and memoized), which is
+what makes whole-program rules affordable.
+
+Findings feed one post-processing chain, identical for every rule:
+inline ``# repro: ignore[rule]`` suppressions (:mod:`.suppress`), the
+checked-in baseline (:mod:`.baseline`), then rendering / SARIF export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analyze.model import Project
+
+#: Pass families, in report order.
+FAMILIES = ("invariant", "effects", "determinism", "hb-static")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalogue entry for one rule id."""
+
+    id: str
+    family: str
+    summary: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule fired at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    function: str = ""          # qualname of the enclosing function, if any
+
+    def render(self) -> str:
+        where = f" (in {self.function})" if self.function else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{where}"
+
+    def key(self) -> Tuple[str, str, int]:
+        """Baseline identity: exact (rule, path, line)."""
+        return (self.rule, self.path, self.line)
+
+
+#: A pass: emits findings for the subset of its rules that are enabled.
+PassFn = Callable[[Project, Sequence[str]], List[Finding]]
+
+
+@dataclass
+class Pass:
+    """One pass family: its rules plus the function that runs them."""
+
+    family: str
+    rules: Dict[str, Rule]
+    run: PassFn = field(repr=False, default=None)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def run_passes(
+    project: Project,
+    passes: Sequence[Pass],
+    only: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run every pass with its enabled rule subset; sorted findings."""
+    known = {rid for p in passes for rid in p.rules}
+    if only is not None:
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ValueError(f"unknown analyzer rules: {unknown}")
+    findings: List[Finding] = []
+    for p in passes:
+        enabled = [
+            rid for rid in p.rules if only is None or rid in only
+        ]
+        if enabled:
+            findings += p.run(project, enabled)
+    return sort_findings(findings)
+
+
+def apply_suppressions(
+    project: Project, findings: Iterable[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) using inline markers.
+
+    A finding is suppressed when its own line — or the line directly
+    above it (comment-only suppressions) — carries a matching
+    ``# repro: ignore[...]`` marker in the finding's module.
+    """
+    by_path = {m.path: m for m in project.modules}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        mod = by_path.get(f.path)
+        if mod is not None and _suppressed_at(mod.suppressions, f.line, f.rule):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def _suppressed_at(suppressions, line: int, rule: str) -> bool:
+    for probe in (line, line - 1):
+        entry = suppressions.get(probe, False)
+        if entry is False:
+            continue
+        if entry is None or rule in entry:
+            return True
+    return False

@@ -1,0 +1,89 @@
+"""Minimal SARIF 2.1.0 export for CI annotation upload.
+
+Emits one run with one tool driver ("repro-analyze"); each rule that
+contributed a finding appears in the driver's rule table, and each
+finding becomes a ``result`` with a single physical location.  The
+subset emitted is what GitHub code-scanning ingestion requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.analyze.rules import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(findings: Iterable[Finding], rules: Dict[str, Rule]) -> dict:
+    findings = list(findings)
+    used = sorted({f.rule for f in findings})
+    rule_index = {rid: i for i, rid in enumerate(used)}
+    driver_rules: List[dict] = [
+        {
+            "id": rid,
+            "shortDescription": {
+                "text": rules[rid].summary if rid in rules else rid
+            },
+            "properties": {
+                "family": rules[rid].family if rid in rules else "unknown"
+            },
+        }
+        for rid in used
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: Path, findings: Iterable[Finding], rules: Dict[str, Rule]) -> None:
+    path.write_text(json.dumps(to_sarif(findings, rules), indent=2) + "\n")
+
+
+def validate_sarif(obj: dict) -> None:
+    """Structural sanity check used by tests and the CI smoke step."""
+    assert obj.get("version") == SARIF_VERSION, "bad SARIF version"
+    runs = obj.get("runs")
+    assert isinstance(runs, list) and len(runs) == 1, "exactly one run expected"
+    driver = runs[0]["tool"]["driver"]
+    assert driver["name"] == "repro-analyze"
+    ids = {r["id"] for r in driver["rules"]}
+    for result in runs[0]["results"]:
+        assert result["ruleId"] in ids, f"result rule {result['ruleId']} not declared"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] >= 1

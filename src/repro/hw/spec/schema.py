@@ -127,8 +127,8 @@ class MachineSpec:
 
     @property
     def uniform_gpus_per_node(self) -> Optional[int]:
-        counts = {n.n_gpus for n in self.nodes}
-        return counts.pop() if len(counts) == 1 else None
+        counts = sorted({n.n_gpus for n in self.nodes})
+        return counts[0] if len(counts) == 1 else None
 
     def gpu_base(self, node: int) -> int:
         """Global index of ``node``'s first GPU."""

@@ -166,7 +166,8 @@ def parrived_device(blk: BlockCtx, rreq: "PrecvRequest", partition: int):
         record.acquire(blk.actor, ("arr", rreq.key, partition))
         record.access(
             blk.actor,
-            rreq.buf.partition(partition, rreq.partitions),
+            # Ordered by the is_set fast path above, which the CFG cannot see.
+            rreq.buf.partition(partition, rreq.partitions),  # repro: ignore[hb-read-unordered]
             write=False,
             note="parrived",
         )

@@ -21,18 +21,22 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.san.checks import DYNAMIC_CHECKS
-from repro.san.lint import STATIC_CHECKS
 from repro.san.report import Report
 from repro.san.sanitizer import Sanitizer
 
 
 def list_checks() -> str:
+    # One registry for every static rule (repro.analyze.registry): this
+    # listing, `repro analyze --list` and `lint_repro.py --list` all
+    # enumerate the same table.
+    from repro.analyze.registry import all_rules
+
     lines = ["dynamic checks (python -m repro san <script>):"]
     for info, _fn in DYNAMIC_CHECKS.values():
         lines.append(f"  {info.id:22s} {info.summary}")
-    lines.append("static checks (scripts/lint_repro.py):")
-    for info in STATIC_CHECKS.values():
-        lines.append(f"  {info.id:22s} {info.summary}")
+    lines.append("static rules (python -m repro analyze):")
+    for rule in all_rules().values():
+        lines.append(f"  {rule.id:22s} [{rule.family}] {rule.summary}")
     return "\n".join(lines)
 
 

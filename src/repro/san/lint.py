@@ -3,6 +3,11 @@
 Complements the dynamic sanitizer; runs standalone as
 ``python scripts/lint_repro.py`` and inside ``scripts/ci.sh``.
 
+These six checks are also registered — unchanged ids, unchanged
+findings — as the *invariant* family of the whole-program analyzer
+(``python -m repro analyze``, DESIGN.md §13); this module remains the
+implementation and the standalone shim.
+
 Checks (ids listed by ``python -m repro san --list-checks``):
 
 ``wallclock``
@@ -469,8 +474,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for info in STATIC_CHECKS.values():
-            print(f"{info.id:16s} [{info.kind}] {info.summary}")
+        # The unified registry (repro.analyze.registry) — identical to
+        # `python -m repro analyze --list`, so the catalogues can't drift.
+        from repro.analyze.registry import render_rules
+
+        print(render_rules())
         return 0
 
     findings: List[LintFinding] = []

@@ -1,0 +1,46 @@
+"""Helpers for the analyzer test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.model import Project
+from repro.analyze.registry import all_passes
+from repro.analyze.rules import apply_suppressions, run_passes
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPRO_SRC = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture
+def analyze():
+    """Analyze in-memory ``{path: source}``; returns kept findings."""
+
+    def run(sources, only=None, suppress=True):
+        project = Project.from_sources(sources)
+        findings = run_passes(project, all_passes(), only=only)
+        if suppress:
+            findings, _ = apply_suppressions(project, findings)
+        return findings
+
+    return run
+
+
+@pytest.fixture
+def analyze_path():
+    """Analyze files/directories on disk; returns kept findings."""
+
+    def run(*paths, only=None):
+        project = Project.load([Path(p) for p in paths])
+        findings = run_passes(project, all_passes(), only=only)
+        findings, _ = apply_suppressions(project, findings)
+        return findings
+
+    return run
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})

@@ -1,0 +1,47 @@
+"""Seeded effect bugs the dynamic sanitizer cannot see.
+
+Run dynamically (``python -m repro san <this file>``) the simulation is
+clean: ``VERBOSE`` is False, so the illegal yield and the waiter-leaking
+early return sit on branches no recorded run ever takes.  The static
+effect checker flags both anyway — that asymmetry is what
+tests/analyze/test_effects.py pins.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+VERBOSE = False
+
+
+def bad_banner():
+    # Every valued return is a str: illegal as a process yield value.
+    return "starting up"
+
+
+def ticks(engine, n):
+    for _ in range(n):
+        yield engine.timeout(1.0)
+
+
+def worker(engine, verbose=VERBOSE):
+    yield engine.timeout(1.0)
+    if verbose:
+        yield bad_banner()          # effect-illegal-yield (branch never taken)
+    done = Event(engine)
+    done.add_callback(lambda ev: None)
+    if verbose:
+        return 0                    # effect-leaked-waiter: exits without awaiting
+    done.succeed()
+    yield done
+    yield from ticks(engine, 2)
+    return 0
+
+
+def main():
+    engine = Engine()
+    proc = engine.process(worker(engine))
+    engine.run(until=proc)
+
+
+if __name__ == "__main__":
+    main()

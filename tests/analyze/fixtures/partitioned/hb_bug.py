@@ -1,0 +1,38 @@
+"""Seeded happens-before bugs in a partitioned-style request class.
+
+``consume`` reads a partition without waiting on its hot path;
+``refill`` overwrites a partition right after ``pready`` with no
+completion wait.  A dynamic run only trips these when the hot branch is
+actually taken and the race actually lands — the static approximation
+flags the *shape* on every path.
+"""
+
+
+class LeakyRequest:
+    def __init__(self, buf, arrived, n):
+        self.buf = buf
+        self.arrived = arrived
+        self.n = n
+        self.hot = False
+
+    def consume(self, i):
+        if self.hot:
+            return self.buf.partition(i, self.n)   # hb-read-unordered
+        self.arrived.wait_for(i)
+        return self.buf.partition(i, self.n)       # dominated: clean
+
+    def consume_ok(self, i):
+        self.arrived.wait_for(i)
+        return self.buf.partition(i, self.n)
+
+    def pready(self, i):
+        pass
+
+    def refill(self, i, data):
+        self.pready(i)
+        self.buf.data[i] = data                    # hb-send-overwrite
+
+    def refill_ok(self, i, data):
+        self.pready(i)
+        self.arrived.wait_for(i)
+        self.buf.data[i] = data

@@ -1,0 +1,136 @@
+"""Statement-level CFGs: shape, dominators, blocked reachability."""
+
+import ast
+import textwrap
+
+from repro.analyze.cfg import build_cfg, map_statements
+
+
+def cfg_of(src):
+    tree = ast.parse(textwrap.dedent(src).strip())
+    func = tree.body[0]
+    return build_cfg(func), func
+
+
+def node_at(cfg, lineno):
+    hits = [
+        nid for nid, stmt in cfg.stmts.items()
+        if stmt is not None and stmt.lineno == lineno
+    ]
+    assert len(hits) == 1, f"line {lineno}: nodes {hits}"
+    return hits[0]
+
+
+def test_linear_chain_dominators():
+    cfg, _ = cfg_of("""
+        def f():
+            a = 1
+            b = 2
+            c = 3
+    """)
+    dom = cfg.dominators()
+    n2, n3, n4 = node_at(cfg, 2), node_at(cfg, 3), node_at(cfg, 4)
+    assert n2 in dom[n3] and n3 in dom[n4] and cfg.entry in dom[n4]
+
+
+def test_if_else_join_not_dominated_by_branches():
+    cfg, _ = cfg_of("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                b = 2
+            c = 3
+    """)
+    dom = cfg.dominators()
+    branch_a, branch_b, join = node_at(cfg, 3), node_at(cfg, 5), node_at(cfg, 6)
+    test = node_at(cfg, 2)
+    assert test in dom[join]
+    assert branch_a not in dom[join] and branch_b not in dom[join]
+
+
+def test_if_without_else_falls_through():
+    cfg, _ = cfg_of("""
+        def f(x):
+            if x:
+                a = 1
+            c = 3
+    """)
+    dom = cfg.dominators()
+    assert node_at(cfg, 3) not in dom[node_at(cfg, 4)]
+
+
+def test_return_in_branch_reaches_exit():
+    cfg, _ = cfg_of("""
+        def f(x):
+            if x:
+                return 1
+            y = 2
+    """)
+    ret = node_at(cfg, 3)
+    assert cfg.exit in cfg.succs[ret]
+    # the fall-through statement is not a successor of the return
+    assert node_at(cfg, 4) not in cfg.succs[ret]
+
+
+def test_while_loop_back_edge_and_break():
+    cfg, _ = cfg_of("""
+        def f(x):
+            while x:
+                if x > 2:
+                    break
+                x -= 1
+            done = 1
+    """)
+    head, done = node_at(cfg, 2), node_at(cfg, 6)
+    body_tail = node_at(cfg, 5)
+    assert head in cfg.succs[body_tail]        # back edge
+    brk = node_at(cfg, 4)
+    assert done in cfg.succs[brk] or done in cfg.succs[head]
+    assert done in cfg.reachable_from(brk)
+
+
+def test_try_handler_reachable_from_body():
+    cfg, _ = cfg_of("""
+        def f():
+            try:
+                a = risky()
+            except ValueError:
+                b = 2
+            c = 3
+    """)
+    handler_body = node_at(cfg, 5)
+    assert handler_body in cfg.reachable_from(node_at(cfg, 3))
+    assert node_at(cfg, 6) in cfg.reachable_from(handler_body)
+
+
+def test_reachable_from_respects_blocked_nodes():
+    cfg, _ = cfg_of("""
+        def f(x):
+            a = 1
+            b = 2
+            c = 3
+    """)
+    blocked = frozenset({node_at(cfg, 3)})
+    reach = cfg.reachable_from(node_at(cfg, 2), blocked)
+    assert node_at(cfg, 4) not in reach and cfg.exit not in reach
+
+
+def test_map_statements_claims_headers_not_nested_scopes():
+    tree = ast.parse(textwrap.dedent("""
+        def f(x):
+            if x > 1:
+                y = x + 1
+            def inner():
+                z = 99
+            return y
+    """))
+    func = tree.body[0]
+    mapping = map_statements(func)
+    if_stmt = func.body[0]
+    compare = if_stmt.test
+    assert mapping[id(compare)] is if_stmt           # header -> compound stmt
+    inner = func.body[1]
+    inner_assign = inner.body[0]
+    assert id(inner_assign) not in mapping           # nested scope not entered
+    assert id(inner_assign.value) not in mapping

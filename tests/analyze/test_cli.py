@@ -1,0 +1,147 @@
+"""End-to-end CLI behaviour: suppressions, baseline, SARIF, exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analyze.cli import main
+from repro.analyze.sarif import validate_sarif
+from repro.analyze.suppress import scan_suppressions
+
+from .conftest import FIXTURES
+
+
+def write_buggy(tmp_path, name="buggy.py", suppress=""):
+    src = textwrap.dedent(f"""
+        def pick(n):
+            lanes = {{i * 2 for i in range(n)}}
+            for lane in lanes:{suppress}
+                return lane
+    """)
+    path = tmp_path / name
+    path.write_text(src)
+    return path
+
+
+def run(capsys, *argv):
+    code = main([str(a) for a in argv])
+    return code, capsys.readouterr().out
+
+
+def test_findings_exit_one_with_summary(capsys, tmp_path):
+    path = write_buggy(tmp_path)
+    code, out = run(capsys, path, "--no-baseline")
+    assert code == 1
+    assert "[det-unordered-iter]" in out
+    assert "analyze: 1 finding(s)" in out
+
+
+def test_inline_suppression_and_count(capsys, tmp_path):
+    path = write_buggy(
+        tmp_path, suppress="  # repro: ignore[det-unordered-iter]"
+    )
+    code, out = run(capsys, path, "--no-baseline")
+    assert code == 0
+    assert "1 suppressed" in out
+
+
+def test_rule_filter_and_unknown_rule(capsys, tmp_path):
+    path = write_buggy(tmp_path)
+    code, _ = run(capsys, path, "--rule", "det-unseeded-random",
+                  "--no-baseline")
+    assert code == 0                      # other rules not run
+    assert main([str(path), "--rule", "no-such-rule"]) == 2
+
+
+def test_write_baseline_then_green(capsys, tmp_path):
+    path = write_buggy(tmp_path)
+    bl = tmp_path / "bl.json"
+    code, out = run(capsys, path, "--baseline", bl, "--write-baseline")
+    assert code == 0 and bl.is_file()
+    code, out = run(capsys, path, "--baseline", bl)
+    assert code == 0
+    assert "(1 baselined" in out
+    # --no-baseline surfaces everything again
+    code, out = run(capsys, path, "--baseline", bl, "--no-baseline")
+    assert code == 1
+
+
+def test_stale_baseline_warns(capsys, tmp_path):
+    buggy = write_buggy(tmp_path)
+    bl = tmp_path / "bl.json"
+    run(capsys, buggy, "--baseline", bl, "--write-baseline")
+    clean = tmp_path / "clean.py"
+    clean.write_text("def ok():\n    return 1\n")
+    code, out = run(capsys, clean, "--baseline", bl)
+    assert code == 0
+    assert "stale baseline entry" in out
+
+
+def test_sarif_export_is_valid(capsys, tmp_path):
+    path = write_buggy(tmp_path)
+    out_file = tmp_path / "out.sarif"
+    code, _ = run(capsys, path, "--no-baseline", "--sarif", out_file)
+    assert code == 1
+    obj = json.loads(out_file.read_text())
+    validate_sarif(obj)
+    results = obj["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["det-unordered-iter"]
+    assert results[0]["locations"][0]["physicalLocation"]["region"][
+        "startLine"] == 4
+
+
+def test_fixture_dir_reports_every_family(capsys):
+    code, out = run(capsys, FIXTURES, "--no-baseline")
+    assert code == 1
+    for family_rule in (
+        "effect-illegal-yield", "effect-leaked-waiter",
+        "det-unordered-iter", "hb-read-unordered", "hb-send-overwrite",
+    ):
+        assert family_rule in out
+
+
+def test_repo_analyzes_clean_with_checked_in_baseline(capsys):
+    from .conftest import REPO_ROOT, REPRO_SRC
+
+    code, out = run(
+        capsys, REPRO_SRC, "--baseline", REPO_ROOT / "analyze-baseline.json"
+    )
+    assert code == 0, out
+    assert "analyze: 0 finding(s)" in out
+
+
+# -- suppression scanner unit cases -----------------------------------------
+
+def test_scan_suppressions_grammar():
+    table = scan_suppressions(textwrap.dedent("""\
+        x = 1  # repro: ignore[rule-a]
+        y = 2  # repro: ignore[rule-a, rule-b]
+        z = 3  # repro: ignore
+        w = 4  # repro: ignore[]
+        plain = 5
+    """))
+    assert table[1] == {"rule-a"}
+    assert table[2] == {"rule-a", "rule-b"}
+    assert table[3] is None
+    assert table[4] is None
+    assert 5 not in table
+
+
+def test_suppression_on_line_above(analyze):
+    findings = analyze({"src/repro/sim/m.py": textwrap.dedent("""
+        def one(xs):
+            s = set(xs)
+            # repro: ignore[det-unordered-iter]
+            return s.pop()
+    """)}, only=["det-unordered-iter"])
+    assert findings == []
+
+
+def test_suppression_is_rule_specific(analyze):
+    findings = analyze({"src/repro/sim/m.py": textwrap.dedent("""
+        def one(xs):
+            s = set(xs)
+            return s.pop()  # repro: ignore[some-other-rule]
+    """)}, only=["det-unordered-iter"])
+    assert len(findings) == 1

@@ -1,0 +1,194 @@
+"""The DES coroutine effect checker (effect-illegal-yield / leaked-waiter)."""
+
+import textwrap
+
+from repro.san.cli import sanitize_script
+
+from .conftest import FIXTURES, rules_of
+
+ONLY = ["effect-illegal-yield", "effect-leaked-waiter"]
+
+
+def src(body):
+    return {"m.py": textwrap.dedent(body)}
+
+
+# -- effect-illegal-yield ----------------------------------------------------
+
+def test_literal_yield_in_driven_process_flagged(analyze):
+    findings = analyze(src("""
+        def worker(engine):
+            yield "not an event"
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-illegal-yield"]
+    assert "str literal" in findings[0].message
+
+
+def test_negative_delay_flagged(analyze):
+    findings = analyze(src("""
+        def worker(engine):
+            yield -1.5
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-illegal-yield"]
+    assert "negative delay" in findings[0].message
+
+
+def test_yield_reached_through_helper_closure(analyze):
+    # the illegal yield hides two `yield from` hops below the root
+    findings = analyze(src("""
+        def deepest(engine):
+            yield {"payload": 1}
+
+        def middle(engine):
+            yield from deepest(engine)
+
+        def worker(engine):
+            yield from middle(engine)
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-illegal-yield"]
+    assert findings[0].function == "deepest"
+
+
+def test_yield_of_generator_call_suggests_yield_from(analyze):
+    findings = analyze(src("""
+        def steps(engine):
+            yield engine.timeout(1)
+
+        def worker(engine):
+            yield steps(engine)
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-illegal-yield"]
+    assert "yield from" in findings[0].message
+
+
+def test_yield_from_non_generator_flagged(analyze):
+    findings = analyze(src("""
+        def helper(engine):
+            return engine.timeout(1)
+
+        def worker(engine):
+            yield from helper(engine)
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-illegal-yield"]
+
+
+def test_legal_yields_and_undriven_generators_clean(analyze):
+    findings = analyze(src("""
+        def worker(engine, ev):
+            yield               # bare: reschedule immediately
+            yield None
+            yield 0
+            yield 2.5
+            yield ev
+            yield engine.timeout(3)
+
+        def main(engine, ev):
+            engine.process(worker(engine, ev))
+
+        def string_iterator():
+            yield "fine"        # never handed to the engine: not a process
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_helper_with_mixed_returns_not_flagged(analyze):
+    findings = analyze(src("""
+        def delay(fast):
+            if fast:
+                return "oops"
+            return 1.0
+
+        def worker(engine):
+            yield delay(True)
+
+        def main(engine):
+            engine.process(worker(engine))
+    """), only=ONLY)
+    assert findings == []       # one return may be legal: unknown, stay quiet
+
+
+# -- effect-leaked-waiter ----------------------------------------------------
+
+def test_leaked_waiter_on_early_return_path(analyze):
+    findings = analyze(src("""
+        def worker(engine, flag):
+            ev = Event(engine)
+            ev.add_callback(lambda e: None)
+            if flag:
+                return 0
+            yield ev
+    """), only=ONLY)
+    assert rules_of(findings) == ["effect-leaked-waiter"]
+    assert findings[0].line == 3
+
+
+def test_waiter_yielded_on_every_path_clean(analyze):
+    findings = analyze(src("""
+        def worker(engine, flag):
+            ev = Event(engine)
+            ev.add_callback(lambda e: None)
+            if flag:
+                yield ev
+                return 0
+            yield ev
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_waiter_stored_or_handed_off_counts_as_consumed(analyze):
+    findings = analyze(src("""
+        class Q:
+            def park(self, engine, sink):
+                ev = engine.event()
+                ev.add_callback(self.wake)
+                self.pending = ev
+
+            def hand_off(self, engine, sink):
+                ev = engine.event()
+                ev.add_callback(self.wake)
+                sink.append(ev)
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_unsubscribed_event_not_a_waiter(analyze):
+    findings = analyze(src("""
+        def worker(engine, flag):
+            ev = Event(engine)
+            if flag:
+                return 0
+            yield ev
+    """), only=ONLY)
+    assert findings == []
+
+
+# -- the seeded fixture: static catches what the dynamic run cannot ----------
+
+def test_fixture_bugs_found_statically(analyze_path):
+    findings = analyze_path(FIXTURES / "effects_bug.py", only=ONLY)
+    assert rules_of(findings) == ONLY
+    lines = {f.rule: f.line for f in findings}
+    assert lines["effect-illegal-yield"] == 29
+    assert lines["effect-leaked-waiter"] == 30
+
+
+def test_fixture_is_clean_under_dynamic_sanitizer():
+    # The buggy branches are never taken at run time, so the trace-based
+    # sanitizer reports nothing — the whole point of the static pass.
+    report = sanitize_script(FIXTURES / "effects_bug.py")
+    assert report.ok, report.render()

@@ -26,7 +26,9 @@ def test_cli_list_checks(capsys):
 
 def test_list_checks_covers_both_kinds():
     text = list_checks()
-    assert "dynamic checks" in text and "static checks" in text
+    assert "dynamic checks" in text and "static rules" in text
+    # Static section comes from the unified analyzer registry.
+    assert "det-unordered-iter" in text and "effect-leaked-waiter" in text
 
 
 def test_resolve_target_rejects_unknown():
