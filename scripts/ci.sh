@@ -12,7 +12,23 @@ PYTHONPATH=src python -m pytest -x -q -m smoke
 
 echo "== bench smoke (event-loop traffic vs recorded ceiling) =="
 PYTHONPATH=src python -m repro bench \
-    --against BENCH_pr5.json --out /tmp/repro_bench_smoke.json
+    --against BENCH_pr7.json --out /tmp/repro_bench_smoke.json
+
+echo "== bench-cluster smoke (512-GPU fat-tree, sharded executor) =="
+# The same cluster point through the multiprocessing path: every digest
+# and counter must match the sequential entry recorded in the baseline.
+PYTHONPATH=src python -m repro bench --suite cluster-fattree-512 --shards 2 \
+    --against BENCH_pr7.json --out /tmp/repro_bench_cluster.json
+PYTHONPATH=src python - <<'EOF'
+import json
+base = json.load(open("BENCH_pr7.json"))["suite"]["cluster-fattree-512"]
+got = json.load(open("/tmp/repro_bench_cluster.json"))["suite"]["cluster-fattree-512"]
+for key in ("msg_digest", "messages", "windows", "cluster_events_popped",
+            "per_shard_popped", "t_end_us"):
+    assert got[key] == base[key], f"{key}: {got[key]!r} != baseline {base[key]!r}"
+assert got["mode"] == "mp" and got["workers"] == 2, got["mode"]
+print("bench-cluster smoke: --shards 2 bit-identical to recorded sequential run")
+EOF
 
 echo "== profile smoke (Chrome trace_event export) =="
 PYTHONPATH=src python -m repro profile examples/pingpong_partitioned.py \

@@ -8,9 +8,11 @@
     python -m repro san --list-checks
     python -m repro analyze [--sarif out.sarif]   # static analysis (repro.analyze)
     python -m repro topo <spec>          # print/validate a machine spec
+    python -m repro topo --machine fat-tree-512    # generated cluster fabrics
     python -m repro topo --list
     python -m repro profile <script> --chrome out.json --util --critical-path
-    python -m repro bench [--against BENCH_pr4.json]   # simulator wall-clock suite
+    python -m repro bench [--against BENCH_pr7.json]   # simulator wall-clock suite
+    python -m repro bench --suite cluster-fattree-512 --shards 4   # sharded engine
 """
 
 from __future__ import annotations

@@ -48,6 +48,11 @@ class Dataplane:
         self._multi_route_cache: Dict[Tuple[Port, Port, int], Tuple] = {}
         #: Descriptors submitted (asserted by tests; stripes live in the ledger).
         self.submissions = 0
+        #: Cross-shard egress hook (see :mod:`repro.shard`): when set, a
+        #: descriptor the bridge claims (its destination lives on another
+        #: engine shard) is priced and mailed instead of routed locally —
+        #: the *only* way bytes leave a shard.  None = unsharded fabric.
+        self.bridge = None
 
     # -- producer surface --------------------------------------------------------
     def put(
@@ -80,7 +85,12 @@ class Dataplane:
         """
         desc = TransferDescriptor(
             src, dst, traffic_class=traffic_class, name=name, initiator="host",
-        ).validate()
+        )
+        bridge = self.bridge
+        if bridge is not None and bridge.claims(desc):
+            self.submissions += 1
+            return bridge.submit(desc)
+        desc.validate()
         self.submissions += 1
         if self._rides_copy_engine(desc):
             return self._staged_execute(desc)
@@ -106,7 +116,17 @@ class Dataplane:
         ))
 
     def submit(self, desc: TransferDescriptor) -> Event:
-        """Validate, plan, account, and launch one descriptor."""
+        """Validate, plan, account, and launch one descriptor.
+
+        When a cross-shard bridge is attached and claims the descriptor,
+        it is handed off whole: the bridge prices the wire segment
+        analytically and schedules delivery on the destination shard via
+        the mailbox, returning the local completion event.
+        """
+        bridge = self.bridge
+        if bridge is not None and bridge.claims(desc):
+            self.submissions += 1
+            return bridge.submit(desc)
         desc.validate()
         self.submissions += 1
         return self._execute(desc)

@@ -33,6 +33,8 @@ from repro.hw.spec.schema import (
     MachineSpec,
     STAGE_D2D,
     STAGE_DST_LOCAL,
+    STAGE_FABRIC_DOWN,
+    STAGE_FABRIC_UP,
     STAGE_HOSTMEM_RX,
     STAGE_HOSTMEM_TX,
     STAGE_NIC_IN,
@@ -76,6 +78,11 @@ class LinkGraph:
         #: NIC links, keyed by GPU (per-GPU NICs) or by node (shared NIC).
         self.nic_out: Dict[int, Link] = {}
         self.nic_in: Dict[int, Link] = {}
+        #: Fabric trunks: (rail, leaf, spine) / (rail, spine, leaf) /
+        #: (rail, src_group, dst_group) — empty without a FabricSpec.
+        self.trunk_up: Dict[Tuple[int, int, int], Link] = {}
+        self.trunk_down: Dict[Tuple[int, int, int], Link] = {}
+        self.dfly_global: Dict[Tuple[int, int, int], Link] = {}
 
         self._build()
 
@@ -96,9 +103,53 @@ class LinkGraph:
     def _edge(self, src: Port, dst: Port, *links: Link) -> None:
         self.adj.setdefault(src, []).append((dst, links))
 
+    def _build_fabric(self) -> None:
+        """Switch ports + trunk wiring for generated fabrics.
+
+        Replaces the single ("net",) vertex with per-rail leaf/spine (or
+        dragonfly router) ports; NICs attach via :meth:`_nic_attach`.
+        Wired before the node loop so trunk registration order is stable.
+        """
+        spec, fabric = self.spec, self.spec.fabric
+        if fabric.kind == "fat-tree":
+            leaves = spec.n_nodes // fabric.nodes_per_leaf
+            for r in range(fabric.rails):
+                for lf in range(leaves):
+                    for s in range(fabric.spines_per_rail):
+                        up = self.trunk_up[(r, lf, s)] = self._link(
+                            fabric.trunk_up, f"r{r}up{lf}.{s}", STAGE_FABRIC_UP
+                        )
+                        down = self.trunk_down[(r, s, lf)] = self._link(
+                            fabric.trunk_down, f"r{r}dn{s}.{lf}", STAGE_FABRIC_DOWN
+                        )
+                        self._edge(("leaf", r, lf), ("spine", r, s), up)
+                        self._edge(("spine", r, s), ("leaf", r, lf), down)
+        else:  # dragonfly: all-to-all global links per rail
+            groups = spec.n_nodes // fabric.nodes_per_group
+            for r in range(fabric.rails):
+                for ga in range(groups):
+                    for gb in range(groups):
+                        if ga == gb:
+                            continue
+                        link = self.dfly_global[(r, ga, gb)] = self._link(
+                            fabric.global_link, f"r{r}g{ga}->{gb}", STAGE_FABRIC_UP
+                        )
+                        self._edge(("rtr", r, ga), ("rtr", r, gb), link)
+
+    def _nic_attach(self, node: int, local: int) -> Port:
+        """The wire-side port a NIC plugs into (flat net or fabric switch)."""
+        fabric = self.spec.fabric
+        if fabric is None:
+            return ("net",)
+        rail = local % fabric.rails
+        if fabric.kind == "fat-tree":
+            return ("leaf", rail, node // fabric.nodes_per_leaf)
+        return ("rtr", rail, node // fabric.nodes_per_group)
+
     def _build(self) -> None:
         spec = self.spec
-        net: Port = ("net",)
+        if spec.fabric is not None:
+            self._build_fabric()
         for n, node in enumerate(spec.nodes):
             base = spec.gpu_base(n)
             gpus = range(base, base + node.n_gpus)
@@ -146,24 +197,32 @@ class LinkGraph:
             # NIC placement: per GPU (GPUDirect) or one shared per node.
             if node.nic_per_gpu:
                 for g in gpus:
+                    att = self._nic_attach(n, g - base)
                     out = self.nic_out[g] = self._link(spec.nic_out, f"ib_out{g}", STAGE_NIC_OUT)
                     inn = self.nic_in[g] = self._link(spec.nic_in, f"ib_in{g}", STAGE_NIC_IN)
-                    self._edge(("gpu", g), net, out)
-                    self._edge(net, ("gpu", g), inn)
-                # Host traffic rides the node's first NIC (bootstrap NIC).
-                self._edge(("pin", n), net, self.nic_out[base])
-                self._edge(net, ("pin", n), self.nic_in[base])
-                self._edge(("pag", n), net, tx, self.nic_out[base])
-                self._edge(net, ("pag", n), self.nic_in[base], rx)
+                    self._edge(("gpu", g), att, out)
+                    self._edge(att, ("gpu", g), inn)
+                # Host traffic rides a bootstrap NIC.  With a multi-rail
+                # fabric the host bridge reaches every rail plane through
+                # that rail's first NIC (host PCIe sees all HCAs); on the
+                # flat wire this is exactly one attach via nic_out[base].
+                rails = spec.fabric.rails if spec.fabric is not None else 1
+                for r in range(min(rails, node.n_gpus)):
+                    att = self._nic_attach(n, r)
+                    self._edge(("pin", n), att, self.nic_out[base + r])
+                    self._edge(att, ("pin", n), self.nic_in[base + r])
+                    self._edge(("pag", n), att, tx, self.nic_out[base + r])
+                    self._edge(att, ("pag", n), self.nic_in[base + r], rx)
             else:
+                att = self._nic_attach(n, 0)
                 out = self.nic_out[n] = self._link(spec.nic_out, f"ib_out_n{n}", STAGE_NIC_OUT)
                 inn = self.nic_in[n] = self._link(spec.nic_in, f"ib_in_n{n}", STAGE_NIC_IN)
                 # The shared NIC hangs off the host bridge: device traffic
                 # reaches it through the pinned-host port.
-                self._edge(("pin", n), net, out)
-                self._edge(net, ("pin", n), inn)
-                self._edge(("pag", n), net, tx, out)
-                self._edge(net, ("pag", n), inn, rx)
+                self._edge(("pin", n), att, out)
+                self._edge(att, ("pin", n), inn)
+                self._edge(("pag", n), att, tx, out)
+                self._edge(att, ("pag", n), inn, rx)
 
     # -- search --------------------------------------------------------------
     def search(self, src: Port, dst: Port, exclude=()) -> Tuple[Link, ...]:

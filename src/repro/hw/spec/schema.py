@@ -18,21 +18,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.hw.params import GH200Params
 
 # Hierarchical acquisition stages.  A route's links are strictly
 # increasing in stage, so concurrent transfers cannot deadlock on port
-# acquisition (they all climb the same ladder).
+# acquisition (they all climb the same ladder).  Only the relative order
+# matters — tests pin monotonicity, not absolute ranks.
 STAGE_HOSTMEM_TX = 0   # source-side pageable-memory read port
 STAGE_SRC_LOCAL = 1    # hbm self-copy / device->host egress (c2c, pcie)
 STAGE_D2D = 2          # direct pair link or switch up-port
 STAGE_SWITCH_DOWN = 3  # switch down-port
 STAGE_NIC_OUT = 3      # NIC egress onto the inter-node wire
-STAGE_NIC_IN = 4       # NIC ingress from the wire
-STAGE_DST_LOCAL = 5    # host->device ingress (c2c, pcie)
-STAGE_HOSTMEM_RX = 6   # destination-side pageable-memory write port
+STAGE_FABRIC_UP = 4    # leaf -> spine trunk / dragonfly global link
+STAGE_FABRIC_DOWN = 5  # spine -> leaf trunk
+STAGE_NIC_IN = 6       # NIC ingress from the wire
+STAGE_DST_LOCAL = 7    # host->device ingress (c2c, pcie)
+STAGE_HOSTMEM_RX = 8   # destination-side pageable-memory write port
 
 
 class SpecError(ValueError):
@@ -101,6 +104,85 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
+class FatTreeFabric:
+    """A rail-optimized two-level (leaf/spine) Clos inter-node fabric.
+
+    Each *rail* is an independent leaf/spine plane; GPU ``g`` of a node
+    attaches its NIC to rail ``local_index % rails``.  Nodes are grouped
+    ``nodes_per_leaf`` per leaf switch; every leaf uplinks to all
+    ``spines_per_rail`` spines of its rail.  Cross-rail traffic forwards
+    over intra-node D2D to a same-node GPU on the destination's rail
+    (PXN-style) before entering the fabric.
+    """
+
+    rails: int
+    nodes_per_leaf: int
+    spines_per_rail: int
+    trunk_up: LinkClass    # leaf -> spine (STAGE_FABRIC_UP)
+    trunk_down: LinkClass  # spine -> leaf (STAGE_FABRIC_DOWN)
+
+    def __post_init__(self) -> None:
+        if self.rails < 1 or self.nodes_per_leaf < 1 or self.spines_per_rail < 1:
+            raise SpecError("fat-tree fabric needs rails/nodes_per_leaf/spines >= 1")
+
+    def check(self, spec: "MachineSpec") -> None:
+        if spec.n_nodes % self.nodes_per_leaf:
+            raise SpecError(
+                f"fat-tree fabric: {spec.n_nodes} nodes not divisible by "
+                f"nodes_per_leaf={self.nodes_per_leaf}"
+            )
+        _check_rail_nodes(spec, self.rails)
+
+    @property
+    def kind(self) -> str:
+        return "fat-tree"
+
+
+@dataclass(frozen=True)
+class DragonflyFabric:
+    """A one-router-per-group dragonfly with all-to-all global links.
+
+    Each rail places one router per group; routers of a rail are fully
+    connected by ``global_link`` wires.  GPU rail assignment and PXN
+    cross-rail forwarding match :class:`FatTreeFabric`.
+    """
+
+    rails: int
+    nodes_per_group: int
+    global_link: LinkClass  # router <-> router (STAGE_FABRIC_UP)
+
+    def __post_init__(self) -> None:
+        if self.rails < 1 or self.nodes_per_group < 1:
+            raise SpecError("dragonfly fabric needs rails/nodes_per_group >= 1")
+
+    def check(self, spec: "MachineSpec") -> None:
+        if spec.n_nodes % self.nodes_per_group:
+            raise SpecError(
+                f"dragonfly fabric: {spec.n_nodes} nodes not divisible by "
+                f"nodes_per_group={self.nodes_per_group}"
+            )
+        _check_rail_nodes(spec, self.rails)
+
+    @property
+    def kind(self) -> str:
+        return "dragonfly"
+
+
+FabricSpec = Union[FatTreeFabric, DragonflyFabric]
+
+
+def _check_rail_nodes(spec: "MachineSpec", rails: int) -> None:
+    """Rail-optimized attachment needs every rail populated on every node."""
+    for i, node in enumerate(spec.nodes):
+        if rails > 1 and not node.nic_per_gpu:
+            raise SpecError(f"node {i}: multi-rail fabric needs nic_per_gpu=True")
+        if node.n_gpus % rails:
+            raise SpecError(
+                f"node {i}: {node.n_gpus} gpus not divisible by rails={rails}"
+            )
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """The whole machine: node templates + the inter-node fabric."""
 
@@ -109,12 +191,17 @@ class MachineSpec:
     nic_out: LinkClass
     nic_in: LinkClass
     params: GH200Params = field(default_factory=GH200Params)
+    #: None keeps the flat single-wire ("net",) model of the small specs;
+    #: a FabricSpec compiles leaf/spine (or router) switch ports instead.
+    fabric: Optional[FabricSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("MachineSpec needs a name")
         if not self.nodes:
             raise SpecError("MachineSpec needs at least one node")
+        if self.fabric is not None:
+            self.fabric.check(self)
 
     # -- shape queries (Topology delegates here) -----------------------------
     @property
@@ -180,6 +267,15 @@ class MachineSpec:
                 LinkClass.__post_init__(cls)
         LinkClass.__post_init__(self.nic_out)
         LinkClass.__post_init__(self.nic_in)
+        if self.fabric is not None:
+            self.fabric.check(self)
+
+    def rail_of(self, gpu: int) -> int:
+        """Fabric rail GPU ``gpu``'s NIC attaches to (0 when no fabric)."""
+        if self.fabric is None:
+            return 0
+        node = self.node_of(gpu)
+        return (gpu - self.gpu_base(node)) % self.fabric.rails
 
     def with_params(self, **kw) -> "MachineSpec":
         """Copy with software/protocol constants overridden (ablations)."""

@@ -99,14 +99,20 @@ class World:
         config: MachineLike = PAPER_TESTBED,
         cost: Optional[CostModel] = None,
         trace: bool = False,
+        engine: Optional[Engine] = None,
     ) -> None:
         # Collect predecessors' cyclic garbage *before* allocating this
-        # machine's buffers (see the note in run()).
-        import gc
+        # machine's buffers (see the note in run()).  Skipped for embedded
+        # worlds (``engine=`` injection): a shard hosting a node-local
+        # World must not pay a full collection per window.
+        if engine is None:
+            import gc
 
-        gc.collect()
+            gc.collect()
+        elif trace:
+            raise ValueError("trace=True is not supported with an injected engine")
         self.config = config
-        self.engine = Engine(trace=trace)
+        self.engine = engine if engine is not None else Engine(trace=trace)
         self.fabric = Fabric(self.engine, config)
         # An explicit cost model applies to every device; otherwise each
         # device derives its own from the machine spec's per-GPU constants.
@@ -158,17 +164,19 @@ class World:
         return slot
 
     # -- job launch -----------------------------------------------------------------
-    def run(
+    def launch(
         self,
         main: Callable[[RankCtx], Any],
         nprocs: Optional[int] = None,
         args: Sequence[Any] = (),
-        until: Optional[float] = None,
     ) -> List[Any]:
-        """Launch ``nprocs`` ranks and simulate to completion.
+        """Spawn ``nprocs`` rank processes without driving the engine.
 
-        Returns each rank's return value, ordered by rank.  ``args`` are
-        passed through to ``main(ctx, *args)``.
+        Returns the rank :class:`~repro.sim.process.Process` list (rank
+        order); each process event's value is that rank's return value.
+        This is the embedding surface: a shard hosts a node-local World by
+        launching its ranks onto the shard engine and letting the window
+        driver advance time — :meth:`run` is launch + ``engine.run``.
         """
         n_gpus = self.fabric.topo.n_gpus
         nprocs = nprocs if nprocs is not None else n_gpus
@@ -193,10 +201,24 @@ class World:
             yield from rt.finalize()
             return result
 
-        procs = [
+        return [
             self.engine.process(rank_main(rt), name=f"rank{rt.world_rank}")
             for rt in runtimes
         ]
+
+    def run(
+        self,
+        main: Callable[[RankCtx], Any],
+        nprocs: Optional[int] = None,
+        args: Sequence[Any] = (),
+        until: Optional[float] = None,
+    ) -> List[Any]:
+        """Launch ``nprocs`` ranks and simulate to completion.
+
+        Returns each rank's return value, ordered by rank.  ``args`` are
+        passed through to ``main(ctx, *args)``.
+        """
+        procs = self.launch(main, nprocs, args)
         done = AllOf(self.engine, procs)
         self.engine.run(done)
         results = [p.value for p in procs]

@@ -102,6 +102,40 @@ def _striping() -> dict:
     }
 
 
+#: Worker processes for cluster suite entries; set by ``--shards``.
+#: None = the pinned in-process sequential driver.
+_CLUSTER_SHARDS: Optional[int] = None
+
+
+def _cluster_fattree_512() -> dict:
+    """512-GPU rail-optimized fat-tree halo under the sharded engine.
+
+    64 node shards driven by conservative lookahead windows.  All digest
+    and counter fields are bit-identical for every ``--shards`` value
+    (DESIGN.md §14), so the entry gates like any other; only ``wall_s``
+    responds to the worker count.
+    """
+    from repro.hw.spec.generators import fabric_metrics, resolve_machine
+    from repro.shard import ClusterJob
+
+    spec = resolve_machine("fat-tree-512")
+    job = ClusterJob(spec, "halo", cfg={"iters": 4, "chunks": 2})
+    result = job.run(workers=_CLUSTER_SHARDS)
+    metrics = fabric_metrics(spec)
+    return {
+        "mode": result.mode,
+        "workers": result.workers,
+        "windows": result.windows,
+        "messages": result.messages,
+        "msg_digest": result.msg_digest,
+        "t_end_us": round(result.t_end * 1e6, 3),
+        "lookahead_us": round(metrics["lookahead_s"] * 1e6, 3),
+        "bisection_bw_GBps": round(metrics["bisection_bw"] / 1e9, 1),
+        "cluster_events_popped": result.events_popped,
+        "per_shard_popped": result.per_shard_popped,
+    }
+
+
 SUITE = {
     "pingpong": _pingpong,
     "fig4-decimated": _fig4_decimated,
@@ -109,6 +143,7 @@ SUITE = {
     "fig5-131072-pe": _fig5_131072,
     "fig8-jacobi": _fig8_jacobi,
     "striping-64MiB": _striping,
+    "cluster-fattree-512": _cluster_fattree_512,
 }
 
 
@@ -171,7 +206,7 @@ def main(argv=None) -> int:
         prog="python -m repro bench",
         description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
     )
-    parser.add_argument("--pr", type=int, default=5, help="PR number for the output filename")
+    parser.add_argument("--pr", type=int, default=7, help="PR number for the output filename")
     parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
     parser.add_argument("--suite", help="comma-separated subset of suite entries")
     parser.add_argument(
@@ -181,7 +216,15 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="allowed events_popped growth over the baseline (fraction)",
     )
+    parser.add_argument(
+        "--shards", type=int,
+        help="worker processes for cluster suite entries "
+             "(default: in-process sequential driver; results are identical)",
+    )
     args = parser.parse_args(argv)
+
+    global _CLUSTER_SHARDS
+    _CLUSTER_SHARDS = args.shards
 
     names = args.suite.split(",") if args.suite else None
     results = run_suite(names)

@@ -3,7 +3,7 @@
 Complements the dynamic sanitizer; runs standalone as
 ``python scripts/lint_repro.py`` and inside ``scripts/ci.sh``.
 
-These six checks are also registered — unchanged ids, unchanged
+These seven checks are also registered — unchanged ids, unchanged
 findings — as the *invariant* family of the whole-program analyzer
 (``python -m repro analyze``, DESIGN.md §13); this module remains the
 implementation and the standalone shim.
@@ -43,6 +43,13 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     ``fabric.transfer_bytes`` shims — producers submit descriptors via
     ``fabric.dataplane.put`` / ``rma_put`` / ``control`` so path policy
     and per-class accounting see the traffic.
+``shard-shared-state``
+    Outside ``repro/shard``, nothing may reach into a shard's private
+    state (``shard.engine`` / ``.fabric`` / ``.mailbox`` / ``.bridge``
+    / ``.procs`` / ``._*``): :class:`~repro.shard.message.ShardMessage`
+    is the *only* thing that crosses a shard boundary, so foreign code
+    must use ``Shard.put`` / ``Shard.recv`` or the driver surface
+    (``step_window`` / ``next_time`` / ``results``) — DESIGN.md §14.
 """
 
 from __future__ import annotations
@@ -84,6 +91,11 @@ STATIC_CHECKS = {
         "fabric-bypass", "static",
         "data movement outside repro/{dataplane,hw} must submit to the "
         "dataplane (no start_transfer / legacy fabric.transfer* calls)",
+    ),
+    "shard-shared-state": CheckInfo(
+        "shard-shared-state", "static",
+        "outside repro/shard, shard internals (engine/fabric/mailbox/"
+        "bridge/procs/_*) are off limits — only ShardMessages cross shards",
     ),
 }
 
@@ -337,6 +349,64 @@ def _check_fabric_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+#: Shard attributes that are private to the shard and its drivers.  The
+#: public cross-shard surface is Shard.put/recv (messages) plus the
+#: driver methods (step_window/next_time/done/results/...).
+_SHARD_INTERNALS = {"engine", "fabric", "mailbox", "bridge", "procs"}
+
+
+def _owns_shards(path: str) -> bool:
+    """Modules allowed to touch Shard internals: the shard package itself
+    (drivers, executor, resident workload builds)."""
+    return "shard" in Path(path).parts
+
+
+def _check_shard_shared_state(tree: ast.AST, path: str) -> List[LintFinding]:
+    """Foreign code reaching into a shard's private state.
+
+    Flags, outside ``repro/shard``, attribute access to shard internals
+    (``engine``, ``fabric``, ``mailbox``, ``bridge``, ``procs``, or any
+    underscore-prefixed name) on a shard-shaped receiver: a name that is
+    or ends with ``shard``, a ``shards[...]`` element, or a ``.shard``
+    attribute chain.  Cross-shard interaction is messages only; sharing
+    engine or fabric references across shards breaks both the
+    conservative-window determinism proof and multiprocessing execution
+    (the state would silently fork).
+    """
+    found: List[LintFinding] = []
+
+    def shard_receiver(recv: ast.AST) -> Optional[str]:
+        if isinstance(recv, ast.Name):
+            if recv.id == "shard" or recv.id.endswith("_shard"):
+                return recv.id
+        elif isinstance(recv, ast.Subscript):
+            base = recv.value
+            if isinstance(base, ast.Name) and base.id == "shards":
+                return "shards[...]"
+            if isinstance(base, ast.Attribute) and base.attr == "shards":
+                return f"{_dotted(base) or 'shards'}[...]"
+        elif isinstance(recv, ast.Attribute) and recv.attr == "shard":
+            return _dotted(recv) or "<...>.shard"
+        return None
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        attr = node.attr
+        if attr not in _SHARD_INTERNALS and not attr.startswith("_"):
+            continue
+        receiver = shard_receiver(node.value)
+        if receiver is not None:
+            found.append(LintFinding(
+                path, node.lineno, "shard-shared-state",
+                f"{receiver}.{attr} reaches into shard-private state — only "
+                "ShardMessages cross shard boundaries; go through Shard.put/"
+                "recv or the driver surface (step_window/next_time/results) "
+                "(DESIGN.md §14)",
+            ))
+    return found
+
+
 _OBS_EMIT_ATTRS = {"trace", "instant", "span", "counter"}
 
 
@@ -435,6 +505,8 @@ def lint_source(
     found += _check_dropped_return(tree, path)
     if not _owns_dataplane(path):
         found += _check_fabric_bypass(tree, path)
+    if not _owns_shards(path):
+        found += _check_shard_shared_state(tree, path)
     return found
 
 

@@ -1,0 +1,116 @@
+"""Cross-shard messages and the analytic wire model that prices them.
+
+A :class:`ShardMessage` is the *only* thing that crosses a shard
+boundary: a packed, picklable tuple of primitives describing one
+:class:`~repro.dataplane.descriptor.TransferDescriptor` whose destination
+lives on another engine shard.  The triple ``(deliver_time, src_shard,
+send_seq)`` is the deterministic merge key — the mailbox injects messages
+in exactly this order, which is what makes the sharded run's delivery
+schedule independent of how shards are grouped onto worker processes
+(DESIGN.md §14).
+
+The :class:`WireModel` prices the inter-node wire segment analytically
+from the cluster spec's link classes (via
+:func:`repro.hw.spec.generators.wire_path_classes`) instead of searching
+the 512-GPU link graph — a shard only ever builds its own node's graph.
+The generator tests pin the analytic numbers equal to the graph-searched
+route on a small fabric, so both views of the wire agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, NamedTuple, Tuple
+
+from repro.hw.spec.generators import wire_bandwidth, wire_latency
+from repro.hw.spec.schema import MachineSpec
+
+
+class ShardMessage(NamedTuple):
+    """One cross-shard transfer, packed as pipe-safe primitives."""
+
+    deliver: float     # absolute simulated arrival time at the dst shard
+    src_shard: int
+    seq: int           # per-source-shard monotone send counter
+    dst_shard: int
+    dst_gpu: int       # global GPU id of the destination endpoint
+    src_gpu: int       # global GPU id of the source endpoint
+    tag: Tuple         # matching key for Shard.recv (must be picklable)
+    nbytes: int
+    traffic_class: str
+    name: str
+
+    @property
+    def merge_key(self) -> Tuple[float, int, int]:
+        return (self.deliver, self.src_shard, self.seq)
+
+
+class MessageDigest:
+    """SHA-256 over the injected-message stream, in merge order.
+
+    Message floats hash via ``float.hex()`` so the digest is exact, not
+    repr-rounded.  Drivers feed each window's messages *merged across all
+    destination queues* by ``merge_key``; because a window only injects
+    messages with ``deliver <= horizon`` and anything routed later was
+    sent after that horizon (so delivers strictly beyond it), the
+    per-window concatenation equals the global sort by ``merge_key`` —
+    the reference (single-heap) run digests its end-sorted message list
+    and must produce the same bytes.
+    """
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256()
+        self.count = 0
+
+    def update(self, msg: ShardMessage) -> None:
+        self._h.update(
+            "|".join((
+                msg.deliver.hex(), str(msg.src_shard), str(msg.seq),
+                str(msg.dst_shard), str(msg.dst_gpu), str(msg.src_gpu),
+                repr(msg.tag), str(msg.nbytes), msg.traffic_class, msg.name,
+            )).encode()
+        )
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+class WireModel:
+    """Analytic latency/bandwidth of the inter-node wire per GPU pair.
+
+    Memoized by relationship class (the pair of nodes and the rail
+    match), not by GPU pair — a 512-GPU halo touches thousands of pairs
+    but only a handful of relationships.
+    """
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self._cache: Dict[Tuple[int, int, bool], Tuple[float, float]] = {}
+
+    def price(self, src_gpu: int, dst_gpu: int) -> Tuple[float, float]:
+        """``(first_byte_latency_s, bottleneck_bandwidth_Bps)``."""
+        spec = self.spec
+        key = (
+            spec.node_of(src_gpu),
+            spec.node_of(dst_gpu),
+            spec.rail_of(src_gpu) == spec.rail_of(dst_gpu),
+        )
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = (
+                wire_latency(spec, src_gpu, dst_gpu),
+                wire_bandwidth(spec, src_gpu, dst_gpu),
+            )
+        return cached
+
+    def deliver_time(self, now: float, src_gpu: int, dst_gpu: int, nbytes: int) -> float:
+        """Arrival time of a message sent now — latency + serialization."""
+        lat, bw = self.price(src_gpu, dst_gpu)
+        return now + lat + nbytes / bw
+
+    def lookahead(self) -> float:
+        """The conservative window bound: min inter-node first-byte latency."""
+        from repro.hw.spec.generators import min_internode_latency
+
+        return min_internode_latency(self.spec)

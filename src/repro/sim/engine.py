@@ -59,6 +59,20 @@ class SimStats:
             "peak_heap": self.peak_heap,
         }
 
+    def absorb(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this one.
+
+        The sharded executor collects each worker's per-shard snapshots
+        and absorbs them **sorted by shard id**, so the process-wide
+        totals are identical however shards were grouped onto workers.
+        ``peak_heap`` merges by max: shard heaps coexist, they don't sum.
+        """
+        self.events_popped += snap["events_popped"]
+        self.events_coalesced += snap["events_coalesced"]
+        self.events_cancelled += snap["events_cancelled"]
+        if snap["peak_heap"] > self.peak_heap:
+            self.peak_heap = snap["peak_heap"]
+
 
 #: Module-level accumulator (see :class:`SimStats`).
 STATS = SimStats()
@@ -69,9 +83,9 @@ class Engine:
 
     __slots__ = (
         "_now", "_heap", "_seq", "_active_process", "_crashed",
-        "obs", "_trace_shim", "on_step", "_timeout_pool",
+        "obs", "_trace_shim", "on_step", "_timeout_pool", "t_busy",
         "events_popped", "events_coalesced", "events_cancelled", "peak_heap",
-        "_flushed", "__weakref__",
+        "_flushed", "shard_id", "__weakref__",
     )
 
     def __init__(self, trace: bool = False) -> None:
@@ -91,6 +105,10 @@ class Engine:
         self.on_step: Optional[Callable[[float, int, int], None]] = None
         #: Free-list of recyclable timeouts (see events._PooledTimeout).
         self._timeout_pool: List[_PooledTimeout] = []
+        #: Time of the last event actually processed.  Unlike ``now`` it is
+        #: never clamped forward to a run-horizon, so a windowed (sharded)
+        #: run can report true completion times.
+        self.t_busy: float = 0.0
         #: Events popped and dispatched (cancelled pops excluded).
         self.events_popped: int = 0
         #: Events the fast paths avoided scheduling altogether (e.g. waves
@@ -100,6 +118,9 @@ class Engine:
         self.events_cancelled: int = 0
         #: High-water mark of the pending-event heap.
         self.peak_heap: int = 0
+        #: Set by :class:`repro.shard.Shard` — obs spans emitted from this
+        #: engine carry the shard id as actor provenance.  None = unsharded.
+        self.shard_id: Optional[int] = None
         self._flushed = [0, 0, 0]  # popped/coalesced/cancelled already in STATS
         obs_bus.note_engine(self)
         if trace:
@@ -346,8 +367,11 @@ class Engine:
             raise ValueError(f"cannot run to the past: {horizon} < {self._now}")
         heap = self._heap
         if self.on_step is not None or self.obs is not None:
+            before = self.events_popped
             while heap and heap[0][0] <= horizon:
                 self.step()
+            if self.events_popped != before:
+                self.t_busy = self._now
             self._now = horizon
             return None
         pop = heapq.heappop
@@ -367,6 +391,8 @@ class Engine:
         finally:
             self.events_popped += popped
             self.events_cancelled += cancelled
+        if popped:
+            self.t_busy = self._now
         self._now = horizon
         return None
 

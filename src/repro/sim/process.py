@@ -82,6 +82,29 @@ class Process(Event):
         wake.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
         wake.succeed(None, priority=PRIORITY_URGENT)
 
+    def kill(self) -> None:
+        """Terminate the process immediately without resuming it.
+
+        Unlike :meth:`interrupt` — which throws into the generator at the
+        current time and lets it unwind — ``kill`` closes the generator
+        synchronously and succeeds the process event with ``None``.  Used
+        by shard teardown: when a window aborts, resident processes must
+        not run again against half-merged state.
+        """
+        if self.triggered:
+            return
+        if self._target is not None:
+            target, self._target = self._target, None
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                if not target.callbacks and isinstance(target, Timeout):
+                    target.cancel()
+        self.gen.close()
+        self.succeed(None, priority=PRIORITY_NORMAL)
+
     # -- engine internals -------------------------------------------------------
     def _resume(self, ev: Event) -> None:
         self._target = None

@@ -260,6 +260,48 @@ def test_unrelated_transfer_methods_pass():
     assert lint_source(src, "mpi/x.py") == []
 
 
+# -- shard-shared-state ------------------------------------------------------
+
+def test_shard_internal_access_flagged():
+    src = (
+        "def f(shard, other_shard, shards, job):\n"
+        "    shard.engine.run()\n"
+        "    other_shard.mailbox.recv(0, 't')\n"
+        "    shards[0].fabric.dataplane.put(None, None)\n"
+        "    job.shard.bridge.drain()\n"
+        "    shard._step_hash.update(b'x')\n"
+    )
+    findings = lint_source(src, "perf/x.py")
+    assert _checks(findings).count("shard-shared-state") == 5
+
+
+def test_shard_public_surface_passes():
+    src = (
+        "def f(shard):\n"
+        "    shard.put(None, shard.remote(9, 8, 't'))\n"
+        "    shard.recv(0, 't')\n"
+        "    out = shard.step_window(1.0, [])\n"
+        "    return shard.next_time(), shard.results(), shard.done\n"
+    )
+    assert lint_source(src, "perf/x.py") == []
+
+
+def test_shard_package_modules_exempt():
+    src = "def f(shard):\n    return shard.engine.peek()\n"
+    assert lint_source(src, "shard/cluster.py", scoped=False) == []
+    assert lint_source(src, "src/repro/shard/executor.py", scoped=False) == []
+
+
+def test_non_shard_receivers_pass():
+    # 'engine' etc. on receivers that are not shard-shaped are fine.
+    src = (
+        "def f(world, self):\n"
+        "    world.engine.run()\n"
+        "    return self.fabric.dataplane\n"
+    )
+    assert lint_source(src, "mpi/x.py") == []
+
+
 # -- drivers -----------------------------------------------------------------
 
 def test_seeded_wallclock_file_fails(tmp_path, capsys):

@@ -1,0 +1,138 @@
+"""Fabric generators: grammar, metrics, and the analytic-wire == graph pin."""
+
+import pytest
+
+from repro.hw.spec.cli import validate_spec
+from repro.hw.spec.generators import (
+    fabric_metrics,
+    fat_tree,
+    min_internode_latency,
+    parse_machine,
+    resolve_machine,
+    wire_bandwidth,
+    wire_latency,
+    wire_path_classes,
+)
+from repro.hw.spec.graph import LinkGraph
+from repro.hw.spec.schema import SpecError
+from repro.sim.engine import Engine
+
+
+# -- grammar -----------------------------------------------------------------
+
+def test_default_fat_tree_512():
+    spec = resolve_machine("fat-tree-512")
+    assert spec.n_nodes == 64
+    assert spec.n_gpus == 512
+    assert spec.fabric.kind == "fat-tree"
+    assert spec.fabric.rails == 4
+
+
+def test_option_suffixes():
+    spec = parse_machine("fat-tree-64-r2-n8-l4-s2")
+    assert spec.n_nodes == 8
+    assert spec.fabric.rails == 2
+    assert spec.fabric.nodes_per_leaf == 4
+    assert spec.fabric.spines_per_rail == 2
+    dfly = parse_machine("dragonfly-128-r2-g4")
+    assert dfly.fabric.kind == "dragonfly"
+    assert dfly.fabric.nodes_per_group == 4
+
+
+def test_non_generator_names_return_none():
+    assert parse_machine("gh200-2x4") is None
+    assert parse_machine("fat-tree") is None
+
+
+def test_unknown_option_rejected():
+    with pytest.raises(SpecError, match="unknown option"):
+        parse_machine("fat-tree-512-z3")
+
+
+def test_resolve_machine_prefers_catalog():
+    spec = resolve_machine("gh200-2x4")
+    assert spec.fabric is None
+    with pytest.raises(SpecError, match="unknown machine"):
+        resolve_machine("hyper-cube-512")
+
+
+def test_indivisible_shapes_rejected():
+    with pytest.raises(SpecError, match="not divisible"):
+        fat_tree(gpus=100, gpus_per_node=8)
+    with pytest.raises(SpecError):  # 8 gpus/node not divisible into 3 rails
+        resolve_machine("fat-tree-64-r3")
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_fat_tree_metrics():
+    m = fabric_metrics(resolve_machine("fat-tree-512"))
+    assert m["nodes"] == 64 and m["gpus"] == 512 and m["rails"] == 4
+    assert m["leaves_per_rail"] == 8 and m["spines_per_rail"] == 8
+    assert m["diameter_links"] == 5  # nic + trunk up/down + nic + pxn hop
+    # 4 leaves cross the bisection x 8 spines x 4 rails x trunk bw
+    spec = resolve_machine("fat-tree-512")
+    assert m["bisection_bw"] == 4 * 8 * 4 * spec.fabric.trunk_up.bandwidth
+    assert m["lookahead_s"] == pytest.approx(min_internode_latency(spec))
+
+
+def test_dragonfly_metrics():
+    m = fabric_metrics(resolve_machine("dragonfly-512"))
+    assert m["kind"] == "dragonfly"
+    assert m["groups"] == 8
+    assert m["diameter_links"] == 4
+
+
+# -- wire model vs compiled graph -------------------------------------------
+
+def _graph_wire_segment(graph, route):
+    """The fabric (inter-node) portion of a graph-searched route."""
+    wire_links = set()
+    for reg in (graph.nic_out, graph.nic_in, graph.trunk_up,
+                graph.trunk_down, graph.dfly_global):
+        wire_links.update(id(link) for link in reg.values())
+    return [link for link in route if id(link) in wire_links]
+
+
+@pytest.mark.parametrize("machine", ["fat-tree-32-r2-l2", "dragonfly-32-r2-g2"])
+def test_analytic_wire_matches_graph_route(machine):
+    spec = resolve_machine(machine)
+    graph = LinkGraph(Engine(), spec)
+    # Same-rail cross-leaf/cross-group, same-rail same-leaf, and
+    # cross-rail pairs; gpu 0 is (node 0, rail 0).
+    pairs = [(0, 8), (0, 24), (0, 25)]
+    for src, dst in pairs:
+        route = graph.search(("gpu", src), ("gpu", dst))
+        segment = _graph_wire_segment(graph, route)
+        classes = wire_path_classes(spec, src, dst)
+        assert [link.kind for link in segment] == [c.kind for c in classes], (src, dst)
+        lat = sum(link.latency for link in segment)
+        if spec.rail_of(src) != spec.rail_of(dst):
+            lat += spec.nodes[0].d2d.latency  # PXN hop the wire model prices
+        assert wire_latency(spec, src, dst) == pytest.approx(lat)
+        assert wire_bandwidth(spec, src, dst) == pytest.approx(
+            min(link.bandwidth for link in segment)
+        )
+
+
+def test_wire_model_undefined_same_node():
+    spec = resolve_machine("fat-tree-32-r2-l2")
+    with pytest.raises(SpecError, match="no wire segment"):
+        wire_path_classes(spec, 0, 1)
+
+
+def test_lookahead_needs_two_nodes():
+    from repro.shard import local_spec
+
+    single = local_spec(resolve_machine("fat-tree-32-r2-l2"), 0)
+    with pytest.raises(SpecError, match="single node"):
+        min_internode_latency(single)
+
+
+# -- stage ladder ------------------------------------------------------------
+
+@pytest.mark.parametrize("machine", [
+    "fat-tree-32-r2-l2", "dragonfly-32-r2-g2", "fat-tree-512",
+])
+def test_generated_specs_validate(machine):
+    assert validate_spec(resolve_machine(machine)) == []
