@@ -11,17 +11,20 @@ echo "== benchmark smoke (one small-grid point per paper figure) =="
 PYTHONPATH=src python -m pytest -x -q -m smoke
 
 echo "== bench smoke (event-loop traffic vs recorded ceiling) =="
+# --against auto gates against the newest checked-in BENCH_pr*.json
+# (excluding the one this run would write), so new PRs need no edit here.
 PYTHONPATH=src python -m repro bench \
-    --against BENCH_pr7.json --out /tmp/repro_bench_smoke.json
+    --against auto --out /tmp/repro_bench_smoke.json
 
 echo "== bench-cluster smoke (512-GPU fat-tree, sharded executor) =="
 # The same cluster point through the multiprocessing path: every digest
 # and counter must match the sequential entry recorded in the baseline.
 PYTHONPATH=src python -m repro bench --suite cluster-fattree-512 --shards 2 \
-    --against BENCH_pr7.json --out /tmp/repro_bench_cluster.json
+    --against auto --out /tmp/repro_bench_cluster.json
 PYTHONPATH=src python - <<'EOF'
 import json
-base = json.load(open("BENCH_pr7.json"))["suite"]["cluster-fattree-512"]
+from repro.perf.bench import resolve_baseline
+base = json.load(open(resolve_baseline("auto", current_pr=8)))["suite"]["cluster-fattree-512"]
 got = json.load(open("/tmp/repro_bench_cluster.json"))["suite"]["cluster-fattree-512"]
 for key in ("msg_digest", "messages", "windows", "cluster_events_popped",
             "per_shard_popped", "t_end_us"):
@@ -40,6 +43,31 @@ obj = json.load(open("/tmp/repro_trace.json"))
 validate_trace(obj)
 assert len(obj["traceEvents"]) > 100, "suspiciously small trace"
 print(f"profile smoke: {len(obj['traceEvents'])} valid trace events")
+EOF
+
+echo "== workload smoke (trace replay x sweep cache, DESIGN.md §15) =="
+# Replay the checked-in 16-rank LLM schedule on the 512-GPU fat-tree
+# under both path policies, twice: the first sweep populates the
+# content-addressed cache, the second must be 100% cache hits.
+rm -rf /tmp/repro_sweep_cache
+PYTHONPATH=src python -m repro sweep \
+    --workloads replay:examples/schedules/llm16.jsonl \
+    --machines fat-tree-512 --policies single,multi --shards 2 \
+    --cache-dir /tmp/repro_sweep_cache --out /tmp/repro_sweep_first.json
+PYTHONPATH=src python -m repro sweep \
+    --workloads replay:examples/schedules/llm16.jsonl \
+    --machines fat-tree-512 --policies single,multi --shards 2 \
+    --cache-dir /tmp/repro_sweep_cache --out /tmp/repro_sweep_second.json
+PYTHONPATH=src python - <<'EOF'
+import json
+first = json.load(open("/tmp/repro_sweep_first.json"))
+second = json.load(open("/tmp/repro_sweep_second.json"))
+assert first["misses"] == len(first["cells"]) and first["hits"] == 0, first
+assert second["hits"] == len(second["cells"]) and second["misses"] == 0, \
+    f"sweep re-run not 100% cached: {second['hits']}/{len(second['cells'])}"
+for a, b in zip(first["cells"], second["cells"]):
+    assert a["key"] == b["key"] and a["result"] == b["result"], a["key"]
+print(f"workload smoke: {len(second['cells'])} cells, 100% cache hits on re-run")
 EOF
 
 echo "== repo-invariant lint (scripts/lint_repro.py) =="

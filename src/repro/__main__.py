@@ -11,8 +11,12 @@
     python -m repro topo --machine fat-tree-512    # generated cluster fabrics
     python -m repro topo --list
     python -m repro profile <script> --chrome out.json --util --critical-path
-    python -m repro bench [--against BENCH_pr7.json]   # simulator wall-clock suite
+    python -m repro bench [--against auto]   # simulator wall-clock suite
     python -m repro bench --suite cluster-fattree-512 --shards 4   # sharded engine
+    python -m repro sweep --workloads pingpong --machines gh200-2x4 \
+        --policies single,multi          # cached (workload x machine x policy) grid
+    python -m repro replay sched.jsonl --machine fat-tree-512   # trace replay
+    python -m repro replay --gen-llm dp=2,tp=4,pp=2 --out sched.jsonl
 """
 
 from __future__ import annotations
@@ -45,6 +49,14 @@ def main(argv=None) -> int:
         from repro.perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.workload.cli import main_sweep
+
+        return main_sweep(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.workload.cli import main_replay
+
+        return main_replay(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

@@ -7,7 +7,7 @@ from typing import Dict, List
 from repro.apps.dl import DlConfig, run_dl
 from repro.apps.jacobi import JacobiConfig, run_jacobi
 from repro.hw.params import ONE_NODE, PAPER_TESTBED, TestbedConfig
-from repro.mpi.world import World
+from repro.workload.runner import run_ranks
 
 
 def _jacobi_main(ctx, cfg: JacobiConfig):
@@ -28,7 +28,7 @@ def measure_jacobi_gflops(
         multiplier=multiplier, base_tile=base_tile, iters=iters,
         variant=variant, copy_mode=copy_mode,
     )
-    results = World(config).run(_jacobi_main, nprocs=nprocs, args=(cfg,))
+    results = run_ranks(config, _jacobi_main, nprocs=nprocs, args=(cfg,)).results
     return min(r.gflops for r in results)
 
 
@@ -46,5 +46,5 @@ def measure_dl_step_time(
 ) -> float:
     """Per-training-step time (seconds) incl. Start/Pbuf_prepare."""
     cfg = DlConfig(grid=grid, block=1024, steps=steps, variant=variant, partitions=partitions)
-    results = World(config).run(_dl_main, nprocs=nprocs, args=(cfg,))
+    results = run_ranks(config, _dl_main, nprocs=nprocs, args=(cfg,)).results
     return max(r.time for r in results) / steps

@@ -17,11 +17,12 @@ import numpy as np
 from repro.cuda.kernel import UniformKernel
 from repro.cuda.timing import WorkSpec
 from repro.hw.params import ONE_NODE, PAPER_TESTBED, TestbedConfig
+from repro.hw.topology import MachineLike
 from repro.mpi.ops import SUM
-from repro.mpi.world import World
 from repro.nccl import NcclComm
 from repro.partitioned import device as pdev
 from repro.bench.p2p import BLOCK, BYTES_PER_THREAD
+from repro.workload.runner import run_ranks
 
 #: User partitions for the partitioned allreduce rows.
 DEFAULT_USER_PARTITIONS = 8
@@ -83,10 +84,10 @@ def measure_allreduce(
     partitions: int = DEFAULT_USER_PARTITIONS,
 ) -> float:
     """Mean kernel+communication window (seconds), warmup dropped."""
-    world = World(config)
-    per_rank = world.run(
-        _allreduce_main, nprocs=nprocs, args=(grid, variant, iters + 1, partitions)
-    )
+    per_rank = run_ranks(
+        config, _allreduce_main, nprocs=nprocs,
+        args=(grid, variant, iters + 1, partitions),
+    ).results
     windows = [max(col) for col in zip(*per_rank)][1:]
     return sum(windows) / len(windows)
 
@@ -95,7 +96,7 @@ def measure_allreduce(
 # Table I: API call overheads
 # --------------------------------------------------------------------------
 
-def measure_overheads(iters: int = 100) -> Dict[str, object]:
+def measure_overheads(iters: int = 100, config: MachineLike = ONE_NODE) -> Dict[str, object]:
     """Time the partitioned API calls exactly as Table I describes."""
     out: Dict[str, object] = {}
 
@@ -139,7 +140,7 @@ def measure_overheads(iters: int = 100) -> Dict[str, object]:
                 yield from rreq.wait()
             return {"precv_init": t_init}
 
-    res = World(ONE_NODE).run(p2p_main, nprocs=2)
+    res = run_ranks(config, p2p_main, nprocs=2).results
     out.update(res[0])
     out.update(res[1])
 
@@ -157,6 +158,6 @@ def measure_overheads(iters: int = 100) -> Dict[str, object]:
         yield from req.wait()
         return t_init
 
-    coll = World(ONE_NODE).run(coll_main, nprocs=4)
+    coll = run_ranks(config, coll_main, nprocs=4).results
     out["pallreduce_init"] = sum(coll) / len(coll)
     return out

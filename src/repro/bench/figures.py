@@ -5,210 +5,89 @@ targets and by ``examples/``; EXPERIMENTS.md records their output against
 the paper's reported values.  Grid sweeps default to a decimated version
 of the paper's axes so a full regeneration stays in CI-friendly time;
 pass explicit ``grids=``/``multipliers=`` for denser sweeps.
+
+Since PR 8 this module is a shim: the series builders live in
+:mod:`repro.workload.exhibits` as registered Workloads, so the same
+exhibits also run under ``python -m repro sweep`` on arbitrary machines.
+Each ``figN(...)`` below runs the workload on its canonical paper machine
+and returns the bare :class:`~repro.bench.series.Series`, exactly as
+before the refactor (outputs pinned by
+``tests/workload/test_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Sequence
 
-from repro.bench import coll as coll_bench
-from repro.bench import apps as app_bench
-from repro.bench import p2p as p2p_bench
 from repro.bench.series import Series
-from repro.hw.params import ONE_NODE, PAPER_TESTBED
-from repro.partitioned.aggregation import SignalMode
-from repro.units import us, GBps
+from repro.workload.exhibits import (
+    FIG1011_GRIDS,
+    FIG2_GRIDS,
+    FIG3_THREADS,
+    FIG45_GRIDS,
+    FIG67_GRIDS,
+    FIG89_MULTIPLIERS,
+)
+from repro.workload.registry import get as _get_workload
 
-FIG2_GRIDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 131072)
-FIG3_THREADS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
-FIG45_GRIDS = (1, 4, 16, 64, 256, 1024, 2048, 8192, 32768)
-FIG67_GRIDS = (1024, 2048, 4096, 8192, 16384, 32768)
-FIG89_MULTIPLIERS = (1, 2, 4, 8, 16, 32)
-FIG1011_GRIDS = (256, 1024, 4096)
+
+def _run(name: str, **params) -> Series:
+    return _get_workload(name).run(**params).series
 
 
 def fig2(grids: Sequence[int] = FIG2_GRIDS) -> Series:
     """Fig 2: cudaStreamSynchronize cost vs kernel launch+sync."""
-    s = Series(
-        "Fig 2",
-        "cudaStreamSynchronize cost and launch+sync time (vector add, block=1024)",
-        ["grid", "total_us", "sync_us", "sync_pct", "lost_overlap_us"],
-    )
-    for grid in grids:
-        r = p2p_bench.measure_launch_sync(grid)
-        sync = r["sync_only"]
-        s.add(
-            grid=grid,
-            total_us=r["total"] / us,
-            sync_us=sync / us,
-            sync_pct=100.0 * sync / r["total"],
-            lost_overlap_us=(r["total"] - r["launch_api"]) / us,
-        )
-    s.note("paper: sync 7.8us constant; 71.6-78.9% of total for grids <= 256; 0.8% at 128K")
-    return s
+    return _run("fig2", grids=grids)
 
 
 def fig3(threads: Sequence[int] = FIG3_THREADS) -> Series:
     """Fig 3: MPIX_Pready cost for thread/warp/block mappings."""
-    s = Series(
-        "Fig 3",
-        "Cost of mapping partitions to threads, warps and blocks (intra-node)",
-        ["threads", "thread_us", "warp_us", "block_us"],
-    )
-    for n in threads:
-        s.add(
-            threads=n,
-            thread_us=p2p_bench.measure_pready_cost(n, SignalMode.THREAD) / us,
-            warp_us=p2p_bench.measure_pready_cost(n, SignalMode.WARP) / us,
-            block_us=p2p_bench.measure_pready_cost(n, SignalMode.BLOCK) / us,
-        )
-    last = s.rows[-1]
-    s.note(
-        f"at 1024 threads: thread/block = {last['thread_us'] / last['block_us']:.1f}x "
-        f"(paper 271.5x), warp/block = {last['warp_us'] / last['block_us']:.1f}x (paper 9.4x)"
-    )
-    return s
+    return _run("fig3", threads=threads)
 
 
 def fig4(grids: Sequence[int] = FIG45_GRIDS) -> Series:
     """Fig 4: intra-node goodput — Kernel Copy vs Progression Engine vs Send/Recv."""
-    s = Series(
-        "Fig 4",
-        "Intra-node goodput, two GH200 on one node (GB/s)",
-        ["grid", "sendrecv", "progression", "kernel_copy", "pe_speedup", "kc_speedup"],
-    )
-    for grid in grids:
-        tr = p2p_bench.measure_p2p_goodput(grid, "sendrecv", ONE_NODE)
-        pe = p2p_bench.measure_p2p_goodput(grid, "progression", ONE_NODE)
-        kc = p2p_bench.measure_p2p_goodput(grid, "kernel_copy", ONE_NODE)
-        s.add(
-            grid=grid, sendrecv=tr / GBps, progression=pe / GBps,
-            kernel_copy=kc / GBps, pe_speedup=pe / tr, kc_speedup=kc / tr,
-        )
-    s.note("paper: PE <= 1.28x (small), ~1.0x >= 2K grids; KC 2.34x small, 1.06x at 32K")
-    return s
+    return _run("fig4", grids=grids)
 
 
 def fig5(grids: Sequence[int] = FIG45_GRIDS) -> Series:
     """Fig 5: inter-node goodput — Partitioned (PE) vs Send/Recv."""
-    s = Series(
-        "Fig 5",
-        "Inter-node goodput, two GH200 on two nodes (GB/s)",
-        ["grid", "sendrecv", "progression", "pe_speedup"],
-    )
-    for grid in grids:
-        tr = p2p_bench.measure_p2p_goodput(grid, "sendrecv", p2p_bench.TWO_NODE_PAIR)
-        pe = p2p_bench.measure_p2p_goodput(grid, "progression", p2p_bench.TWO_NODE_PAIR)
-        s.add(grid=grid, sendrecv=tr / GBps, progression=pe / GBps, pe_speedup=pe / tr)
-    s.note("paper: 2.80x at grid 1, 1.17x at the largest grid; 2 transport partitions best")
-    return s
-
-
-def _allreduce_series(exhibit: str, config, nprocs: int, grids: Sequence[int]) -> Series:
-    s = Series(
-        exhibit,
-        f"Allreduce kernel+communication time, {nprocs} GH200 ({config.n_nodes} node(s))",
-        ["grid", "traditional_us", "partitioned_us", "nccl_us", "trad_over_part", "part_minus_nccl_us"],
-    )
-    for grid in grids:
-        tr = coll_bench.measure_allreduce(grid, "traditional", config, nprocs)
-        pa = coll_bench.measure_allreduce(grid, "partitioned", config, nprocs)
-        nc = coll_bench.measure_allreduce(grid, "nccl", config, nprocs)
-        s.add(
-            grid=grid, traditional_us=tr / us, partitioned_us=pa / us, nccl_us=nc / us,
-            trad_over_part=tr / pa, part_minus_nccl_us=(pa - nc) / us,
-        )
-    s.note("paper: partitioned orders of magnitude under MPI_Allreduce; NCCL best (~226us gap at 1K)")
-    return s
+    return _run("fig5", grids=grids)
 
 
 def fig6(grids: Sequence[int] = FIG67_GRIDS) -> Series:
     """Fig 6: allreduce on four GH200 (one node)."""
-    return _allreduce_series("Fig 6", ONE_NODE, 4, grids)
+    return _run("fig6", grids=grids)
 
 
 def fig7(grids: Sequence[int] = FIG67_GRIDS[:-1]) -> Series:
-    """Fig 7: allreduce on eight GH200 (two nodes, ranks 0-3 / 4-7 per node).
-
-    Default sweep stops at 16K grids: eight ranks x 256 MiB working sets
-    plus ring staging exceed a 16 GB host at 32K (simulator memory, not a
-    modelled limit).
-    """
-    return _allreduce_series("Fig 7", PAPER_TESTBED, 8, grids)
+    """Fig 7: allreduce on eight GH200 (two nodes, ranks 0-3 / 4-7 per node)."""
+    return _run("fig7", grids=grids)
 
 
 def table1() -> Series:
     """Table I: overheads of the partitioned API calls."""
-    o = coll_bench.measure_overheads()
-    s = Series(
-        "Table I",
-        "Overheads for different MPI calls",
-        ["call", "measured_us", "paper_us"],
-    )
-    s.add(call="MPI_Psend_init", measured_us=o["psend_init"] / us, paper_us=17.2)
-    s.add(call="MPI_Precv_init", measured_us=o["precv_init"] / us, paper_us=17.2)
-    s.add(call="MPIX_Pallreduce_init", measured_us=o["pallreduce_init"] / us, paper_us=62.3)
-    s.add(call="MPIX_Prequest_create", measured_us=o["prequest_create"] / us, paper_us=110.7)
-    s.add(call="MPIX_Pbuf_prepare (first)", measured_us=o["pbuf_prepare_first"] / us, paper_us=193.4)
-    s.add(call="MPIX_Pbuf_prepare (avg)", measured_us=o["pbuf_prepare_avg"] / us, paper_us=3.4)
-    return s
-
-
-def _jacobi_series(exhibit: str, config, nprocs: int, multipliers: Sequence[int],
-                   iters: int, base_tile: int) -> Series:
-    s = Series(
-        exhibit,
-        f"Jacobi solver GFLOP/s, {nprocs} GH200 ({config.n_nodes} node(s))",
-        ["multiplier", "traditional", "partitioned_pe", "partitioned_kc", "pe_speedup", "kc_speedup"],
-    )
-    for m in multipliers:
-        tr = app_bench.measure_jacobi_gflops(m, "traditional", config, nprocs, base_tile, iters)
-        pe = app_bench.measure_jacobi_gflops(m, "partitioned", config, nprocs, base_tile, iters, "pe")
-        kc = app_bench.measure_jacobi_gflops(m, "partitioned", config, nprocs, base_tile, iters, "kc_auto")
-        s.add(
-            multiplier=m, traditional=tr, partitioned_pe=pe, partitioned_kc=kc,
-            pe_speedup=pe / tr, kc_speedup=kc / tr,
-        )
-    s.note("paper: best 1.06x on one node, 1.30x on two nodes; gains shrink as size grows")
-    s.note("we report both copy modes; the paper's figure lies inside the [PE, KC] envelope")
-    return s
+    return _run("table1")
 
 
 def fig8(multipliers: Sequence[int] = FIG89_MULTIPLIERS, iters: int = 150, base_tile: int = 16) -> Series:
     """Fig 8: Jacobi GFLOP/s on four GH200 (2x2 decomposition)."""
-    return _jacobi_series("Fig 8", ONE_NODE, 4, multipliers, iters, base_tile)
+    return _run("fig8", multipliers=multipliers, iters=iters, base_tile=base_tile)
 
 
 def fig9(multipliers: Sequence[int] = FIG89_MULTIPLIERS, iters: int = 150, base_tile: int = 16) -> Series:
     """Fig 9: Jacobi GFLOP/s on eight GH200 (4x2 decomposition)."""
-    return _jacobi_series("Fig 9", PAPER_TESTBED, 8, multipliers, iters, base_tile)
-
-
-def _dl_series(exhibit: str, config, nprocs: int, grids: Sequence[int]) -> Series:
-    s = Series(
-        exhibit,
-        f"Deep-learning kernel (BCE + gradient allreduce) per-step time, {nprocs} GH200",
-        ["grid", "traditional_us", "partitioned_us", "nccl_us"],
-    )
-    for grid in grids:
-        s.add(
-            grid=grid,
-            traditional_us=app_bench.measure_dl_step_time(grid, "traditional", config, nprocs) / us,
-            partitioned_us=app_bench.measure_dl_step_time(grid, "partitioned", config, nprocs) / us,
-            nccl_us=app_bench.measure_dl_step_time(grid, "nccl", config, nprocs) / us,
-        )
-    s.note("paper: partitioned well under MPI_Allreduce; NCCL still best (collective-bound)")
-    return s
+    return _run("fig9", multipliers=multipliers, iters=iters, base_tile=base_tile)
 
 
 def fig10(grids: Sequence[int] = FIG1011_GRIDS) -> Series:
     """Fig 10: DL kernel on four GH200."""
-    return _dl_series("Fig 10", ONE_NODE, 4, grids)
+    return _run("fig10", grids=grids)
 
 
 def fig11(grids: Sequence[int] = FIG1011_GRIDS) -> Series:
     """Fig 11: DL kernel on eight GH200."""
-    return _dl_series("Fig 11", PAPER_TESTBED, 8, grids)
+    return _run("fig11", grids=grids)
 
 
 ALL_EXHIBITS = {

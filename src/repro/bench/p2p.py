@@ -20,8 +20,8 @@ from repro.cuda.kernel import BlockKernel, UniformKernel
 from repro.cuda.timing import WorkSpec
 from repro.hw.params import ONE_NODE, TestbedConfig
 from repro.hw.topology import MachineLike
-from repro.mpi.world import World
 from repro.partitioned import device as pdev
+from repro.workload.runner import run_ranks
 from repro.partitioned.aggregation import AggregationSpec, SignalMode
 from repro.partitioned.prequest import CopyMode
 
@@ -55,9 +55,8 @@ def auto_transport_partitions(grid: int, model: str, inter_node: bool) -> int:
 # Fig 2: cudaStreamSynchronize motivation
 # --------------------------------------------------------------------------
 
-def measure_launch_sync(grid: int, block: int = BLOCK) -> dict:
+def measure_launch_sync(grid: int, block: int = BLOCK, config: MachineLike = ONE_NODE) -> dict:
     """One launch+sync measurement on a fresh single-GPU world."""
-    world = World(ONE_NODE)
 
     def main(ctx):
         work = WorkSpec.vector_add(BYTES_PER_THREAD)
@@ -72,17 +71,18 @@ def measure_launch_sync(grid: int, block: int = BLOCK) -> dict:
         sync_only = ctx.now - t1
         return {"total": t_done - t0, "launch_api": t_launched - t0, "sync_only": sync_only}
 
-    return world.run(main, nprocs=1)[0]
+    return run_ranks(config, main, nprocs=1).results[0]
 
 
 # --------------------------------------------------------------------------
 # Fig 3: thread/warp/block MPIX_Pready aggregation cost
 # --------------------------------------------------------------------------
 
-def measure_pready_cost(n_threads: int, mode: SignalMode) -> float:
+def measure_pready_cost(
+    n_threads: int, mode: SignalMode, config: MachineLike = ONE_NODE
+) -> float:
     """Device-side cost of the MPIX_Pready call for one block of
     ``n_threads`` under a signal mode (intra-node channel, 1 partition)."""
-    world = World(ONE_NODE)
     cost_out: List[float] = []
 
     def main(ctx):
@@ -111,7 +111,7 @@ def measure_pready_cost(n_threads: int, mode: SignalMode) -> float:
             yield from rreq.pbuf_prepare()
             yield from rreq.wait()
 
-    world.run(main, nprocs=2)
+    run_ranks(config, main, nprocs=2)
     assert len(cost_out) == 1
     return cost_out[0]
 
@@ -198,8 +198,9 @@ def measure_p2p_goodput(
     description (legacy config or :class:`MachineSpec`); warmup discarded."""
     if tps is None:
         tps = auto_transport_partitions(grid, model, inter_node=config.n_nodes > 1)
-    world = World(config)
-    per_rank = world.run(_p2p_goodput_main, nprocs=2, args=(grid, model, iters, tps))
+    per_rank = run_ranks(
+        config, _p2p_goodput_main, nprocs=2, args=(grid, model, iters, tps)
+    ).results
     # Window per iteration = slower endpoint; drop the warmup iteration.
     windows = [max(a, b) for a, b in zip(*per_rank)][1:]
     mean = sum(windows) / len(windows)

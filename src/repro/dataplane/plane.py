@@ -136,6 +136,17 @@ class Dataplane:
         primary = self.fabric.route(desc.src, desc.dst)
         stripes = self.policy.plan(self, desc, primary)
         self.ledger.account(desc, stripes)
+        obs = self.engine.obs
+        if obs is not None:
+            # One instant per accounted descriptor: the trace-replay
+            # ingester (repro.workload.replay.from_chrome) rebuilds a
+            # byte-exact schedule from exactly these events.
+            obs.instant(
+                "dataplane", desc.name,
+                cls=desc.traffic_class, nbytes=desc.wire_bytes,
+                src_gpu=desc.src.gpu, src_node=desc.src.node,
+                dst_gpu=desc.dst.gpu, dst_node=desc.dst.node,
+            )
         if len(stripes) == 1:
             stripe = stripes[0]
             return start_transfer(

@@ -21,7 +21,10 @@ the Fig 8 Jacobi solve.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
+import re
 import time
 from typing import Dict, Iterable, Optional
 
@@ -33,51 +36,32 @@ from repro.sim.engine import STATS
 DEFAULT_TOLERANCE = 0.05
 
 
+def _workload(name: str):
+    from repro.workload.registry import get
+
+    return get(name)
+
+
 def _pingpong() -> dict:
-    from repro.hw.params import ONE_NODE
-    from repro.mpi.world import World
-
-    def main(ctx):
-        comm = ctx.comm
-        buf = ctx.gpu.alloc(1024)
-        peer = 1 - ctx.rank
-        for _ in range(50):
-            if ctx.rank == 0:
-                yield from comm.send(buf, dest=peer, tag=1)
-                yield from comm.recv(buf, source=peer, tag=2)
-            else:
-                yield from comm.recv(buf, source=peer, tag=1)
-                yield from comm.send(buf, dest=peer, tag=2)
-
-    world = World(ONE_NODE)
-    world.run(main, nprocs=2)
     # Per-traffic-class accounting from the dataplane ledger: which
     # subsystem moved how many bytes over this workload (deterministic).
-    return {"class_bytes": world.fabric.dataplane.ledger.as_dict()}
+    return {"class_bytes": _workload("pingpong").run().class_bytes}
 
 
 def _fig4_decimated() -> None:
-    from repro.bench import figures
-
-    figures.fig4(grids=(1, 256, 32768))
+    _workload("fig4").run(grids=(1, 256, 32768))
 
 
 def _fig5_decimated() -> None:
-    from repro.bench import figures
-
-    figures.fig5(grids=(1, 256, 131072))
+    _workload("fig5").run(grids=(1, 256, 131072))
 
 
 def _fig5_131072() -> None:
-    from repro.bench.p2p import TWO_NODE_PAIR, measure_p2p_goodput
-
-    measure_p2p_goodput(131072, "progression", TWO_NODE_PAIR)
+    _workload("p2p-point").run(grid=131072, model="progression")
 
 
 def _fig8_jacobi() -> None:
-    from repro.bench import figures
-
-    figures.fig8(multipliers=(1, 4), iters=60)
+    _workload("fig8").run(multipliers=(1, 4), iters=60)
 
 
 def _striping() -> dict:
@@ -88,17 +72,13 @@ def _striping() -> dict:
     the recorded speedup is deterministic simulated goodput, not wall
     clock, so it is stable across machines.
     """
-    from repro.dataplane.bench import measure_stripe_goodput
-    from repro.units import MiB
-
-    single = measure_stripe_goodput(64 * MiB, "single")
-    multi = measure_stripe_goodput(64 * MiB, "multi")
+    res = _workload("striping").run()
     return {
-        "single_GBps": round(single["goodput_Bps"] / 1e9, 2),
-        "multi_GBps": round(multi["goodput_Bps"] / 1e9, 2),
-        "stripes": multi["stripes"],
-        "stripe_speedup": round(multi["goodput_Bps"] / single["goodput_Bps"], 3),
-        "class_bytes": multi["ledger"],
+        "single_GBps": res.extra["single_GBps"],
+        "multi_GBps": res.extra["multi_GBps"],
+        "stripes": res.extra["stripes"],
+        "stripe_speedup": res.extra["stripe_speedup"],
+        "class_bytes": res.class_bytes,
     }
 
 
@@ -116,23 +96,24 @@ def _cluster_fattree_512() -> dict:
     responds to the worker count.
     """
     from repro.hw.spec.generators import fabric_metrics, resolve_machine
-    from repro.shard import ClusterJob
 
     spec = resolve_machine("fat-tree-512")
-    job = ClusterJob(spec, "halo", cfg={"iters": 4, "chunks": 2})
-    result = job.run(workers=_CLUSTER_SHARDS)
+    res = _workload("halo").run(
+        machine=spec, shards=_CLUSTER_SHARDS, iters=4, chunks=2
+    )
+    sig = res.extra["signature"]
     metrics = fabric_metrics(spec)
     return {
-        "mode": result.mode,
-        "workers": result.workers,
-        "windows": result.windows,
-        "messages": result.messages,
-        "msg_digest": result.msg_digest,
-        "t_end_us": round(result.t_end * 1e6, 3),
+        "mode": res.mode,
+        "workers": res.extra["workers"],
+        "windows": res.extra["windows"],
+        "messages": sig["messages"],
+        "msg_digest": sig["msg_digest"],
+        "t_end_us": round(sig["t_end"] * 1e6, 3),
         "lookahead_us": round(metrics["lookahead_s"] * 1e6, 3),
         "bisection_bw_GBps": round(metrics["bisection_bw"] / 1e9, 1),
-        "cluster_events_popped": result.events_popped,
-        "per_shard_popped": result.per_shard_popped,
+        "cluster_events_popped": sig["events_popped"],
+        "per_shard_popped": sig["per_shard_popped"],
     }
 
 
@@ -201,16 +182,44 @@ def _check_against(results: Dict[str, dict], baseline: dict, tolerance: float) -
     return 1 if failures else 0
 
 
+def resolve_baseline(spec: Optional[str], current_pr: int) -> Optional[str]:
+    """Resolve an ``--against`` value to a baseline path.
+
+    ``auto`` (or an explicit directory) picks the newest checked-in
+    ``BENCH_pr<N>.json`` by PR number, excluding the file this run is
+    about to write, so CI needs no hard-coded baseline name.
+    """
+    if spec is None:
+        return None
+    directory = "."
+    if spec != "auto":
+        if not os.path.isdir(spec):
+            return spec
+        directory = spec
+    candidates = []
+    for path in glob.glob(os.path.join(directory, "BENCH_pr*.json")):
+        m = re.fullmatch(r"BENCH_pr(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) != current_pr:
+            candidates.append((int(m.group(1)), path))
+    if not candidates:
+        raise FileNotFoundError(
+            f"--against {spec}: no BENCH_pr*.json baseline found in {directory!r}"
+        )
+    return max(candidates)[1]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
         description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
     )
-    parser.add_argument("--pr", type=int, default=7, help="PR number for the output filename")
+    parser.add_argument("--pr", type=int, default=8, help="PR number for the output filename")
     parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
     parser.add_argument("--suite", help="comma-separated subset of suite entries")
     parser.add_argument(
-        "--against", help="baseline BENCH_pr<N>.json to gate events_popped against"
+        "--against",
+        help="baseline BENCH_pr<N>.json to gate events_popped against; "
+             "'auto' picks the newest checked-in BENCH_pr*.json",
     )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -252,8 +261,10 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {out}")
 
-    if args.against:
-        with open(args.against) as fh:
+    baseline_path = resolve_baseline(args.against, args.pr)
+    if baseline_path:
+        print(f"gating against {baseline_path}")
+        with open(baseline_path) as fh:
             baseline = json.load(fh)
         return _check_against(results, baseline, args.tolerance)
     return 0

@@ -3,7 +3,7 @@
 Complements the dynamic sanitizer; runs standalone as
 ``python scripts/lint_repro.py`` and inside ``scripts/ci.sh``.
 
-These seven checks are also registered — unchanged ids, unchanged
+These eight checks are also registered — unchanged ids, unchanged
 findings — as the *invariant* family of the whole-program analyzer
 (``python -m repro analyze``, DESIGN.md §13); this module remains the
 implementation and the standalone shim.
@@ -50,6 +50,13 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     is the *only* thing that crosses a shard boundary, so foreign code
     must use ``Shard.put`` / ``Shard.recv`` or the driver surface
     (``step_window`` / ``next_time`` / ``results``) — DESIGN.md §14.
+``workload-bypass``
+    Every driver launches through the Workload contract (DESIGN.md §15).
+    Outside ``repro/workload``, ``repro/mpi`` and ``repro/shard``, no
+    module may construct a ``World`` or a ``ClusterJob`` directly —
+    drivers go through ``repro.workload.runner.run_ranks`` or a
+    registered :class:`~repro.workload.base.Workload`, so machine
+    resolution, path policy, and digest accounting stay uniform.
 """
 
 from __future__ import annotations
@@ -96,6 +103,11 @@ STATIC_CHECKS = {
         "shard-shared-state", "static",
         "outside repro/shard, shard internals (engine/fabric/mailbox/"
         "bridge/procs/_*) are off limits — only ShardMessages cross shards",
+    ),
+    "workload-bypass": CheckInfo(
+        "workload-bypass", "static",
+        "drivers outside repro/{workload,mpi,shard} must not construct "
+        "World/ClusterJob directly — go through run_ranks or a Workload",
     ),
 }
 
@@ -407,6 +419,42 @@ def _check_shard_shared_state(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+#: Directories whose modules own rank/cluster launching (exempt from
+#: workload-bypass): the workload package (run_ranks, ClusterWorkload),
+#: the MPI world itself, and the shard drivers.
+_WORKLOAD_OWNERS = {"workload", "mpi", "shard"}
+_LAUNCHER_NAMES = {"World", "ClusterJob"}
+
+
+def _owns_workloads(path: str) -> bool:
+    return bool(_WORKLOAD_OWNERS & set(Path(path).parts))
+
+
+def _check_workload_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
+    """Direct ``World(...)`` / ``ClusterJob(...)`` construction outside the
+    launch owners.  Drivers that bypass the Workload contract dodge
+    machine resolution, path-policy selection, and the digest accounting
+    that keeps every exhibit pinned (DESIGN.md §15)."""
+    found: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in _LAUNCHER_NAMES:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in _LAUNCHER_NAMES:
+            name = _dotted(func) or func.attr
+        if name is not None:
+            found.append(LintFinding(
+                path, node.lineno, "workload-bypass",
+                f"direct {name}(...) construction bypasses the Workload "
+                "contract — launch ranks via repro.workload.runner.run_ranks "
+                "or run a registered Workload (DESIGN.md §15)",
+            ))
+    return found
+
+
 _OBS_EMIT_ATTRS = {"trace", "instant", "span", "counter"}
 
 
@@ -507,6 +555,8 @@ def lint_source(
         found += _check_fabric_bypass(tree, path)
     if not _owns_shards(path):
         found += _check_shard_shared_state(tree, path)
+    if not _owns_workloads(path):
+        found += _check_workload_bypass(tree, path)
     return found
 
 

@@ -34,10 +34,17 @@ from repro.sim.process import Process
 def resolve_workload(name: str) -> Tuple[str, Callable, dict]:
     """``name -> (name, build_fn, defaults)``; raises on unknown names."""
     entry = WORKLOADS.get(name)
+    if entry is None and name == "replay":
+        # Trace-replay schedules build shards from lowered micro-ops
+        # (repro.workload.replay lowers; repro.shard.replay executes);
+        # registered on demand so repro.shard stays import-light.
+        from repro.shard.replay import REPLAY_CLUSTER_DEFAULTS, build_replay
+
+        entry = WORKLOADS[name] = (build_replay, REPLAY_CLUSTER_DEFAULTS)
     if entry is None:
         from repro.shard.cluster import ClusterError
 
-        known = ", ".join(sorted(WORKLOADS))
+        known = ", ".join(sorted(WORKLOADS) + ["replay"])
         raise ClusterError(f"unknown workload {name!r} (known: {known})")
     build, defaults = entry
     return name, build, dict(defaults)

@@ -1,0 +1,272 @@
+"""The Workload contract: one driver shape for every scenario.
+
+A :class:`Workload` declares a name, a default machine, and an
+``_execute`` body; :meth:`Workload.run` supplies everything around it —
+machine resolution (names, :class:`~repro.hw.spec.schema.MachineSpec`,
+legacy :class:`~repro.hw.params.TestbedConfig`), path-policy selection,
+``events_popped`` accounting against the module :data:`~repro.sim.engine.
+STATS` singleton, and the SHA-256 series digest — and returns a typed
+:class:`WorkloadResult`.
+
+Every pre-existing driver in the repo (fig2–fig11/table1, the Jacobi and
+DL apps, the shard workloads, the bench suite entries) is a Workload; the
+legacy entry points are thin shims over the registry.  The same contract
+feeds ``python -m repro sweep`` (grid runs with a content-addressed
+result cache) and the trace-replay frontend (:mod:`repro.workload.
+replay`).
+
+Determinism accounting: ``run`` never calls ``STATS.reset()`` — it takes
+a snapshot *delta*, so a workload can run inside harnesses that own the
+counters (``python -m repro bench`` resets around entries) without
+perturbing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.bench.series import Series
+from repro.hw.spec.catalog import as_spec
+from repro.hw.topology import MachineLike
+from repro.sim.engine import STATS
+
+
+class WorkloadError(Exception):
+    """A workload was misconfigured or asked to run somewhere it cannot."""
+
+
+#: Path-policy axis values (``PathPolicy.name`` strings); None = ambient
+#: default (the ``REPRO_PATH_POLICY`` environment, usually single-path).
+POLICY_NAMES = ("single", "multi")
+
+
+# --------------------------------------------------------------------------
+# canonical hashing (shared with the sweep cache)
+# --------------------------------------------------------------------------
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr for leftovers."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def series_to_dict(series: Series) -> dict:
+    """JSON-safe view of a Series (the shape the seed fixture pins)."""
+    return {
+        "exhibit": series.exhibit,
+        "title": series.title,
+        "columns": list(series.columns),
+        "rows": series.rows,
+        "notes": series.notes,
+    }
+
+
+def series_from_dict(doc: dict) -> Series:
+    return Series(
+        exhibit=doc["exhibit"], title=doc["title"], columns=list(doc["columns"]),
+        rows=[dict(r) for r in doc["rows"]], notes=list(doc["notes"]),
+    )
+
+
+def series_digest(series: Series) -> str:
+    """SHA-256 over the canonical JSON of the series content."""
+    return sha256_hex(canonical_json(series_to_dict(series)))
+
+
+# --------------------------------------------------------------------------
+# machine + policy resolution
+# --------------------------------------------------------------------------
+
+def resolve_machine_arg(machine: Union[str, MachineLike]) -> MachineLike:
+    """A machine name (catalog or generator grammar) or MachineLike."""
+    if isinstance(machine, str):
+        from repro.hw.spec.generators import resolve_machine
+
+        return resolve_machine(machine)
+    return machine
+
+
+def machine_label(machine: MachineLike) -> str:
+    return as_spec(machine).name
+
+
+@contextmanager
+def path_policy(policy: Optional[str]):
+    """Pin ``REPRO_PATH_POLICY`` for the duration of one workload run.
+
+    ``None`` leaves the ambient environment untouched (workloads built
+    before the policy axis existed ran under whatever the environment
+    said; keeping that behaviour keeps their outputs pinned).
+    """
+    if policy is None:
+        yield
+        return
+    from repro.dataplane.policy import policy_from_env
+
+    try:
+        policy_from_env(policy)  # validate the name before touching env
+    except ValueError as exc:
+        raise WorkloadError(str(exc)) from exc
+    prev = os.environ.get("REPRO_PATH_POLICY")
+    os.environ["REPRO_PATH_POLICY"] = policy
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_PATH_POLICY", None)
+        else:
+            os.environ["REPRO_PATH_POLICY"] = prev
+
+
+# --------------------------------------------------------------------------
+# results
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExecOutcome:
+    """What a workload body hands back to :meth:`Workload.run`."""
+
+    series: Series
+    mode: str = "world"                     # "world" | "sequential" | "mp"
+    class_bytes: Dict[str, Any] = field(default_factory=dict)
+    digests: Dict[str, str] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: None -> run() fills it with the STATS snapshot delta.
+    events_popped: Optional[int] = None
+
+
+@dataclass
+class WorkloadResult:
+    """One workload run: the series, its digests, and the run counters."""
+
+    workload: str
+    machine: str
+    policy: str                 # "single" / "multi" / "default"
+    mode: str
+    series: Series
+    digests: Dict[str, str]     # always includes "series"
+    events_popped: int
+    class_bytes: Dict[str, Any]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        # Round-tripped through canonical JSON so the view is identical
+        # whether it came from a live run or a sweep-cache file (tuples
+        # become lists, int dict keys become strings, in both).
+        return json.loads(canonical_json({
+            "workload": self.workload,
+            "machine": self.machine,
+            "policy": self.policy,
+            "mode": self.mode,
+            "series": series_to_dict(self.series),
+            "digests": dict(self.digests),
+            "events_popped": self.events_popped,
+            "class_bytes": self.class_bytes,
+            "extra": self.extra,
+        }))
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkloadResult":
+        return cls(
+            workload=doc["workload"], machine=doc["machine"],
+            policy=doc["policy"], mode=doc["mode"],
+            series=series_from_dict(doc["series"]), digests=dict(doc["digests"]),
+            events_popped=doc["events_popped"], class_bytes=doc["class_bytes"],
+            extra=doc.get("extra", {}),
+        )
+
+
+# --------------------------------------------------------------------------
+# the contract
+# --------------------------------------------------------------------------
+
+class Workload:
+    """Base class: subclass, set ``name``/``default_machine``, implement
+    :meth:`_execute` returning an :class:`ExecOutcome`.
+
+    ``default_machine`` may be a MachineLike or a resolvable name; ``None``
+    means the workload binds its own canonical machines internally (the
+    multi-machine paper exhibits) and ignores overrides it was not given.
+    """
+
+    name: str = ""
+    default_machine: Optional[Union[str, MachineLike]] = None
+    #: Default parameters, merged under explicit ``run(**params)``;
+    #: also the parameter half of :meth:`fingerprint`.
+    defaults: Dict[str, Any] = {}
+    #: Whether ``shards=N`` (the multiprocessing executor) is meaningful.
+    supports_shards: bool = False
+
+    # -- cache identity -----------------------------------------------------
+    def fingerprint(self, **params: Any) -> dict:
+        """Content identity for the sweep cache (machine/policy hashed
+        separately).  Override to fold in external content (replay does,
+        with the schedule digest)."""
+        return {"workload": self.name, "params": {**self.defaults, **params}}
+
+    # -- execution ----------------------------------------------------------
+    def resolve_machine(self, machine: Optional[Union[str, MachineLike]]) -> Optional[MachineLike]:
+        if machine is None:
+            machine = self.default_machine
+        if machine is None:
+            return None
+        return resolve_machine_arg(machine)
+
+    def run(
+        self,
+        machine: Optional[Union[str, MachineLike]] = None,
+        policy: Optional[str] = None,
+        shards: Optional[int] = None,
+        **params: Any,
+    ) -> WorkloadResult:
+        """Run on ``machine`` under ``policy``; returns a WorkloadResult.
+
+        ``shards=N`` routes shard-capable workloads through the
+        multiprocessing executor (results are pinned bit-identical to the
+        sequential driver, DESIGN.md §14).
+        """
+        resolved = self.resolve_machine(machine)
+        if shards is not None and not self.supports_shards:
+            raise WorkloadError(
+                f"workload {self.name!r} runs on a single engine; "
+                "shards=N applies to cluster workloads only"
+            )
+        merged = {**self.defaults, **params}
+        with path_policy(policy):
+            before = STATS.snapshot()["events_popped"]
+            outcome = self._execute(resolved, shards, **merged)
+            popped = (
+                outcome.events_popped
+                if outcome.events_popped is not None
+                else STATS.snapshot()["events_popped"] - before
+            )
+        digests = {"series": series_digest(outcome.series), **outcome.digests}
+        return WorkloadResult(
+            workload=self.name,
+            machine=(
+                machine_label(resolved) if resolved is not None else "exhibit-canonical"
+            ),
+            policy=policy if policy is not None else "default",
+            mode=outcome.mode,
+            series=outcome.series,
+            digests=digests,
+            events_popped=popped,
+            class_bytes=outcome.class_bytes,
+            extra=outcome.extra,
+        )
+
+    def _execute(
+        self, machine: Optional[MachineLike], shards: Optional[int], **params: Any
+    ) -> ExecOutcome:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name}>"

@@ -1,0 +1,62 @@
+"""Name -> Workload registry shared by the CLI, bench suite, and sweep.
+
+Built-in workloads register lazily on first lookup (eager registration
+would make ``repro.workload`` import every bench module, and the bench
+modules import :mod:`repro.workload.runner` — a cycle).  ``resolve_spec``
+additionally understands the ``replay:<path>`` form for trace-replay
+schedules loaded from JSONL files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workload.base import Workload, WorkloadError
+
+_REGISTRY: Dict[str, Workload] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    """Import the built-in workload modules (registration side effects)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.workload import cluster, exhibits  # noqa: F401
+
+
+def register(workload: Workload) -> Workload:
+    if not workload.name:
+        raise WorkloadError(f"{workload!r} has no name")
+    if workload.name in _REGISTRY:
+        raise WorkloadError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    _load_builtins()
+    wl = _REGISTRY.get(name)
+    if wl is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(names())}"
+        )
+    return wl
+
+
+def names() -> List[str]:
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def resolve_spec(spec: str) -> Workload:
+    """A registry name, or ``replay:<schedule.jsonl>`` for a trace file."""
+    if spec.startswith("replay:"):
+        from repro.workload.replay import ReplayWorkload
+
+        path = spec[len("replay:"):]
+        if not path:
+            raise WorkloadError("replay: needs a schedule path (replay:<file>)")
+        return ReplayWorkload.from_file(path)
+    return get(spec)

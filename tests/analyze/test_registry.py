@@ -9,7 +9,7 @@ EXPECTED_RULES = {
     # migrated invariants
     "wallclock", "raw-units", "dropped-return",
     "obs-bypass", "eager-obs-payload", "fabric-bypass",
-    "shard-shared-state",
+    "shard-shared-state", "workload-bypass",
     # effects
     "effect-illegal-yield", "effect-leaked-waiter",
     # determinism

@@ -260,6 +260,51 @@ def test_unrelated_transfer_methods_pass():
     assert lint_source(src, "mpi/x.py") == []
 
 
+# -- workload-bypass ---------------------------------------------------------
+
+def test_direct_world_construction_flagged():
+    src = (
+        "from repro.mpi.world import World\n\n"
+        "def f(cfg, main):\n"
+        "    return World(cfg).run(main, nprocs=2)\n"
+    )
+    findings = lint_source(src, "bench/x.py", scoped=False)
+    assert _checks(findings) == ["workload-bypass"]
+    assert "run_ranks" in findings[0].message
+
+
+def test_direct_cluster_job_flagged():
+    src = (
+        "from repro.shard import ClusterJob\n\n"
+        "def f(spec):\n"
+        "    return ClusterJob(spec, 'halo').run()\n"
+    )
+    findings = lint_source(src, "perf/x.py", scoped=False)
+    assert _checks(findings) == ["workload-bypass"]
+
+
+def test_attribute_launcher_flagged():
+    src = "def f(mod, cfg):\n    return mod.World(cfg)\n"
+    findings = lint_source(src, "bench/x.py", scoped=False)
+    assert _checks(findings) == ["workload-bypass"]
+
+
+def test_workload_owners_exempt_from_bypass():
+    src = "from repro.mpi.world import World\n\ndef f(cfg):\n    return World(cfg)\n"
+    assert lint_source(src, "workload/runner.py", scoped=False) == []
+    assert lint_source(src, "mpi/world.py", scoped=False) == []
+    assert lint_source(src, "shard/workloads.py", scoped=False) == []
+
+
+def test_run_ranks_passes_bypass():
+    src = (
+        "from repro.workload import run_ranks\n\n"
+        "def f(cfg, main):\n"
+        "    return run_ranks(cfg, main, nprocs=2).results\n"
+    )
+    assert lint_source(src, "bench/x.py", scoped=False) == []
+
+
 # -- shard-shared-state ------------------------------------------------------
 
 def test_shard_internal_access_flagged():

@@ -1,0 +1,84 @@
+"""Ports stay byte-identical: every workload vs the pre-refactor fixture.
+
+``fixtures/seed_outputs.json`` was captured from the legacy drivers
+(``figures.ALL_EXHIBITS``, a raw ``World`` pingpong, direct
+``ClusterJob`` runs) immediately before the repro.workload port.  These
+tests replay the same points through the registry and require identical
+rows, notes, byte ledgers, and ``events_popped`` — in both the
+sequential and ``shards=2`` cluster executors.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.workload import canonical_json, get
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "seed_outputs.json"
+)
+with open(FIXTURE_PATH) as _fh:
+    FIXTURE = json.load(_fh)
+
+
+def _norm(obj):
+    """JSON-normalize (tuples -> lists, int keys -> str) for comparison."""
+    return json.loads(canonical_json(obj))
+
+
+# -- paper exhibits -----------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(FIXTURE["exhibits"]))
+def test_exhibit_pinned(name):
+    pinned = FIXTURE["exhibits"][name]
+    params = {
+        k: tuple(v) if isinstance(v, list) else v
+        for k, v in pinned["params"].items()
+    }
+    res = get(name).run(**params)
+    assert res.series.exhibit == pinned["exhibit"]
+    assert list(res.series.columns) == pinned["columns"]
+    assert _norm(res.series.rows) == _norm(pinned["rows"])
+    assert _norm(res.series.notes) == _norm(pinned["notes"])
+    assert res.events_popped == pinned["events_popped"]
+    assert "series" in res.digests
+
+
+# -- bench pingpong -----------------------------------------------------------
+
+def test_pingpong_pinned():
+    pinned = FIXTURE["pingpong"]
+    res = get("pingpong").run()
+    assert _norm(res.class_bytes) == _norm(pinned["class_bytes"])
+    assert res.events_popped == pinned["events_popped"]
+
+
+# -- cluster workloads, both executors ---------------------------------------
+
+CLUSTER_CFG = {
+    "halo": {"iters": 2, "chunks": 2, "chunk_bytes": 1 << 16, "face_bytes": 1 << 16},
+    "allreduce-node": {"iters": 2, "elems": 256, "ring_bytes": 1 << 12},
+}
+
+
+@pytest.mark.parametrize("mode", ["sequential", "shards2"])
+@pytest.mark.parametrize("name", sorted(CLUSTER_CFG))
+def test_cluster_pinned(name, mode):
+    pinned = FIXTURE["cluster"][name][mode]
+    shards = 2 if mode == "shards2" else None
+    res = get(name).run(
+        machine="fat-tree-32-r2-l2", shards=shards, **CLUSTER_CFG[name]
+    )
+    assert _norm(res.extra["signature"]) == _norm(pinned)
+    assert res.events_popped == pinned["events_popped"]
+    assert res.digests["msg"] == pinned["msg_digest"]
+
+
+def test_cluster_sequential_and_sharded_digests_agree():
+    a = get("halo").run(machine="fat-tree-32-r2-l2", **CLUSTER_CFG["halo"])
+    b = get("halo").run(
+        machine="fat-tree-32-r2-l2", shards=2, **CLUSTER_CFG["halo"]
+    )
+    assert a.digests == b.digests
+    assert a.events_popped == b.events_popped

@@ -1,0 +1,91 @@
+"""Schedule generators: NCCL-style log parsing and the LLM 3D pattern."""
+
+import pytest
+
+from repro.workload.generators import llm_schedule, parse_nccl_log
+from repro.workload.replay import ReplayError, ReplayWorkload, parse_jsonl
+
+NCCL_LOG = """
+# two-rank demo
+0 Compute us=10
+0 AllReduce bytes=4096 group=0,1
+1 AllReduce bytes=4096 group=0,1
+0 Send peer=1 bytes=1024 tag=x class=p2p
+1 Recv peer=0 tag=x
+0 Broadcast root=0 bytes=2048
+1 Broadcast root=0 bytes=2048
+"""
+
+
+def test_nccl_log_parses_and_replays():
+    sched = parse_nccl_log(NCCL_LOG, source="demo.log")
+    assert sched.ranks == 2
+    res = ReplayWorkload(sched).run(machine="gh200-1x4")
+    assert res.class_bytes["p2p"]["bytes"] == 1024
+    assert res.class_bytes["broadcast"]["bytes"] == 2048
+    # ring allreduce: n ranks x 2*(n-1) rounds x ceil(b/n)-byte chunks
+    assert res.class_bytes["replay"]["bytes"] == 2 * 2 * 2048
+
+
+def test_nccl_repeated_broadcasts_pair_by_occurrence():
+    log = (
+        "0 Broadcast root=0 bytes=100\n"
+        "1 Broadcast root=0 bytes=100\n"
+        "0 Broadcast root=0 bytes=200\n"
+        "1 Broadcast root=0 bytes=200\n"
+    )
+    sched = parse_nccl_log(log, source="b.log")
+    # Occurrence-keyed tags keep the 100- and 200-byte rounds distinct.
+    assert sched.ranks == 2 and len(sched.steps) == 4
+
+
+def test_nccl_schedule_round_trips():
+    sched = parse_nccl_log(NCCL_LOG, source="demo.log")
+    again = parse_jsonl(sched.to_jsonl(), source="rt.jsonl")
+    assert again.digest == sched.digest
+
+
+@pytest.mark.parametrize("line,fragment", [
+    ("0 Send peer=1", "needs bytes"),
+    ("0 Frobnicate bytes=1", "unknown op"),
+    ("x Send peer=1 bytes=2", "first token must be the rank"),
+    ("0 Compute", "needs us"),
+    ("0 Send peer=1 bytes=zz", "must be an integer"),
+    ("0 Send peer=1 bytes", "key=value"),
+    ("", "empty log"),
+])
+def test_nccl_errors_carry_file_and_line(line, fragment):
+    with pytest.raises(ReplayError, match="bad.log:1") as exc:
+        parse_nccl_log(line, source="bad.log")
+    assert fragment in str(exc.value)
+
+
+def test_llm_schedule_shape():
+    sched = llm_schedule(dp=2, tp=2, pp=2, layers=2, hidden=64, seq=32,
+                         microbatches=1, steps=1)
+    assert sched.ranks == 8
+    assert sched.has_op("allreduce") and sched.has_op("send")
+    # every rank ends the step at the barrier
+    barriers = [s for s in sched.steps if s.op == "barrier"]
+    assert len(barriers) == 8
+
+
+def test_llm_schedule_replays_with_expected_classes():
+    sched = llm_schedule(dp=2, tp=4, pp=2, layers=2, hidden=256, seq=128,
+                         microbatches=1, steps=1)
+    assert sched.ranks == 16
+    res = ReplayWorkload(sched).run(machine="fat-tree-32-r2-l2", shards=2)
+    seq = ReplayWorkload(sched).run(machine="fat-tree-32-r2-l2")
+    assert res.digests == seq.digests
+    assert res.events_popped == seq.events_popped
+
+
+def test_llm_schedule_deterministic():
+    a = llm_schedule(dp=2, tp=2, pp=1, layers=1, hidden=16, seq=8)
+    b = llm_schedule(dp=2, tp=2, pp=1, layers=1, hidden=16, seq=8)
+    assert a.digest == b.digest
+
+
+def test_llm_schedule_rejects_bad_params():
+    with pytest.raises(ReplayError, match="dp must be"):
+        llm_schedule(dp=0)
