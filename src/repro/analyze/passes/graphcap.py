@@ -1,0 +1,134 @@
+"""Static check for captured-transfer-graph lifetime hazards.
+
+A captured :class:`~repro.dataplane.graph.TransferGraph` (or a
+stream-captured op list) bakes descriptor *identity* at capture time:
+replay re-reads buffer payloads but not buffer liveness or descriptor
+shape.  Freeing a referenced buffer, or mutating a descriptor/spec
+object, between ``begin_capture`` and the last ``graph_launch`` makes
+every later replay act on stale state — the dynamic layer raises
+``GraphError`` only on the paths a run actually takes; this pass checks
+all of them.
+
+``graph-capture-mutation``
+    In a function that both captures (``begin_capture``) and replays
+    (``graph_launch`` / ``graph_launch_h``), a ``.free()`` call or a
+    store to a descriptor/spec attribute that lies on a path *between*
+    the capture and a replay: reachable from a capture begin, with a
+    replay still reachable after it.  Replays inside loops count — a
+    free after the first launch but before the back edge invalidates
+    every subsequent launch.
+
+Like the other hb-static rules this over-approximates (no aliasing,
+coarse exception edges); reviewed false positives are silenced with
+``# repro: ignore[graph-capture-mutation]``.  Functions that only
+capture or only replay are out of scope — their ordering lives in the
+caller, beyond a per-function CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analyze.cfg import map_statements
+from repro.analyze.model import FunctionInfo, Project, dotted_name
+from repro.analyze.rules import Finding, Pass, Rule
+
+FAMILY = "hb-static"
+
+CAPTURE_MUTATION = "graph-capture-mutation"
+
+RULES: Dict[str, Rule] = {
+    CAPTURE_MUTATION: Rule(
+        CAPTURE_MUTATION, FAMILY,
+        "buffer free or descriptor/spec mutation between a stream-capture "
+        "begin and a later graph launch — replays would act on stale state",
+    ),
+}
+
+_BEGIN_ATTRS = {"begin_capture"}
+_LAUNCH_ATTRS = {"graph_launch", "graph_launch_h"}
+_SPEC_PARTS = ("desc", "descriptor", "spec")
+
+
+def _is_spec_chain(node: ast.AST) -> bool:
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return any(
+        part in _SPEC_PARTS or part.endswith(("_desc", "_spec"))
+        for part in dotted.split(".")
+    )
+
+
+def _classify(fi: FunctionInfo):
+    """-> (begin nodes, launch nodes, hazards).
+
+    Hazards are ``(cfg stmt-node, lineno, description)`` triples: buffer
+    ``.free()`` calls and stores into descriptor/spec attribute chains.
+    """
+    cfg = fi.cfg
+    stmt_of = map_statements(fi.node)
+
+    def node_of(expr: ast.AST):
+        stmt = stmt_of.get(id(expr))
+        return None if stmt is None else cfg.node_of_stmt.get(id(stmt))
+
+    begins: Set[int] = set()
+    launches: Set[int] = set()
+    hazards: List[Tuple[int, int, str]] = []
+
+    for node in fi.owned():
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            nid = node_of(node)
+            if nid is None:
+                continue
+            attr = node.func.attr
+            if attr in _BEGIN_ATTRS:
+                begins.add(nid)
+            elif attr in _LAUNCH_ATTRS:
+                launches.add(nid)
+            elif attr == "free":
+                hazards.append((
+                    nid, node.lineno,
+                    f"{dotted_name(node.func) or 'free'}()",
+                ))
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+            if _is_spec_chain(node):
+                nid = node_of(node)
+                if nid is not None:
+                    hazards.append((
+                        nid, node.lineno,
+                        f"store to {dotted_name(node) or 'descriptor field'}",
+                    ))
+    return begins, launches, hazards
+
+
+def run(project: Project, enabled: Sequence[str]) -> List[Finding]:
+    if CAPTURE_MUTATION not in enabled:
+        return []
+    findings: List[Finding] = []
+    for fi in project.functions:
+        begins, launches, hazards = _classify(fi)
+        if not (begins and launches and hazards):
+            continue
+        between: Set[int] = set()
+        for b in begins:
+            between |= fi.cfg.reachable_from(b) - {b}
+        flagged: Set[int] = set()
+        for nid, lineno, desc in hazards:
+            if nid not in between or lineno in flagged:
+                continue
+            if launches & (fi.cfg.reachable_from(nid) - {nid}):
+                flagged.add(lineno)
+                findings.append(Finding(
+                    CAPTURE_MUTATION, fi.path, lineno,
+                    f"{desc} lies between a begin_capture and a later "
+                    "graph launch — the captured graph would replay "
+                    "against freed or mutated state",
+                    fi.qualname,
+                ))
+    return findings
+
+
+PASS = Pass(family=FAMILY, rules=RULES, run=run)

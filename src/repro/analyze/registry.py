@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.analyze.passes import determinism, effects, hbstatic, invariants
+from repro.analyze.passes import determinism, effects, graphcap, hbstatic, invariants
 from repro.analyze.rules import Pass, Rule
 
 
 def all_passes() -> List[Pass]:
     """Pass families in report order (matches rules.FAMILIES)."""
-    return [invariants.PASS, effects.PASS, determinism.PASS, hbstatic.PASS]
+    return [invariants.PASS, effects.PASS, determinism.PASS, hbstatic.PASS,
+            graphcap.PASS]
 
 
 def all_rules() -> Dict[str, Rule]:

@@ -10,7 +10,11 @@ mechanisms:
   issues device ``MPIX_Pready`` per user partition; the measurement
   includes ``MPI_Start`` and ``MPIX_Pbuf_prepare`` (they live inside a
   training loop — paper's methodology);
-* ``nccl`` — ``ncclAllReduce`` on the stream, one sync at the end.
+* ``nccl`` — ``ncclAllReduce`` on the stream, one sync at the end;
+* ``graphed`` — the NCCL step (BCE kernel + fused ring allreduce) is
+  stream-captured once into a transfer graph and replayed as a single
+  graph launch per training step — identical timing and numerics to
+  ``nccl``, one host submission per step instead of one per op.
 
 The model is a per-parameter logistic unit: ``p_i = sigmoid(w_i * x_i)``,
 ``grad_i = (p_i - y_i) * x_i``; after averaging gradients across ranks and
@@ -61,7 +65,7 @@ def _bce_loss(p: np.ndarray, y: np.ndarray) -> float:
 
 def run_dl(ctx, cfg: DlConfig) -> Generator:
     """Rank-process generator: the DL proxy loop. Returns DlResult."""
-    if cfg.variant not in ("traditional", "partitioned", "nccl"):
+    if cfg.variant not in ("traditional", "partitioned", "nccl", "graphed"):
         raise MpiUsageError(f"unknown DL variant {cfg.variant!r}")
     comm = ctx.comm
     n = cfg.grid * cfg.block
@@ -78,7 +82,8 @@ def run_dl(ctx, cfg: DlConfig) -> Generator:
     nccl = None
     pall = None
     preq = None
-    if cfg.variant == "nccl":
+    dgraph = None
+    if cfg.variant in ("nccl", "graphed"):
         nccl = yield from NcclComm.init(ctx)
     elif cfg.variant == "partitioned":
         pall = yield from comm.pallreduce_init(
@@ -92,6 +97,18 @@ def run_dl(ctx, cfg: DlConfig) -> Generator:
         losses.append(_bce_loss(p, y))
         grad.data[:] = (p - y) * x
 
+    if cfg.variant == "graphed":
+        # Capture one training step's device work — BCE kernel plus the
+        # fused NCCL ring allreduce — into a transfer graph (recording
+        # only; nothing executes until the first launch).
+        stream = ctx.gpu.default_stream
+        stream.begin_capture()
+        ctx.gpu.launch(UniformKernel(
+            cfg.grid, cfg.block, work, name="bce_g", apply=bce_apply
+        ))
+        nccl.all_reduce(grad, grad, SUM)
+        dgraph = stream.end_capture()
+
     t0 = ctx.now
     for step in range(cfg.steps):
         if cfg.variant == "traditional":
@@ -103,6 +120,10 @@ def run_dl(ctx, cfg: DlConfig) -> Generator:
             kernel = UniformKernel(cfg.grid, cfg.block, work, name="bce", apply=bce_apply)
             yield from ctx.gpu.launch_h(kernel)
             nccl.all_reduce(grad, grad, SUM)
+            yield from ctx.gpu.sync_h()
+        elif cfg.variant == "graphed":
+            # One API charge + one submission replays kernel + allreduce.
+            yield from ctx.gpu.graph_launch_h(dgraph)
             yield from ctx.gpu.sync_h()
         else:
             # Partitioned: Start + Pbuf_prepare are inside the timed loop

@@ -40,6 +40,11 @@ class Device:
         self.node = fabric.topo.node_of(gpu_id)
         self.cost = cost or self._spec_cost(fabric, gpu_id)
         self.name = name or f"gpu{gpu_id}"
+        #: The TransferGraph an open stream capture on this device is
+        #: recording into, or None.  Capture-mode-global semantics: while
+        #: set, enqueues on any *other* stream of this device are
+        #: unrepresentable cross-stream dependencies (repro.dataplane.graph).
+        self.active_capture = None
         from repro.cuda.stream import Stream  # local import to avoid cycle
 
         self.default_stream = Stream(self, name=f"{self.name}.s0")
@@ -109,6 +114,18 @@ class Device:
         yield self.engine.timeout(self.cost.launch_api_cost)
         return self.launch(kernel, stream)
 
+    def graph_launch_h(self, graph, stream=None) -> Generator:
+        """Host helper: charge the (single) launch API cost, then replay
+        a captured graph on ``stream``; returns the completion event.
+
+        One API charge covers the whole graph — the batching win CUDA
+        graphs exist for — versus one charge per kernel in the eager
+        ``launch_h`` path.
+        """
+        stream = stream or self.default_stream
+        yield self.engine.timeout(self.cost.launch_api_cost)
+        return stream.graph_launch(graph)
+
     def sync_h(self, stream=None) -> Generator:
         """``cudaStreamSynchronize``: block until drained + fixed API cost."""
         stream = stream or self.default_stream
@@ -137,7 +154,7 @@ class Device:
                 src, dst, traffic_class="cuda", name="memcpy"
             )
 
-        return stream.enqueue(op, label="memcpy")
+        return stream.enqueue(op, label="memcpy", buffers=(src, dst))
 
     def memcpy_h(self, dst: Buffer, src: Buffer, stream=None) -> Generator:
         """Host helper: synchronous cudaMemcpy (API cost + wait for copy)."""

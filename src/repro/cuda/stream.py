@@ -48,8 +48,30 @@ class Stream:
         return ("stream", self.name)
 
     # -- enqueue -----------------------------------------------------------------
-    def enqueue(self, run: Callable[[], "object"], label: str) -> Event:
-        """Queue a generator-factory op; returns its completion event."""
+    def enqueue(
+        self, run: Callable[[], "object"], label: str, buffers: tuple = ()
+    ) -> Event:
+        """Queue a generator-factory op; returns its completion event.
+
+        While a capture is open on this device the op is *recorded*, not
+        executed (CUDA stream-capture semantics): recording returns a
+        placeholder event that never fires, and ops landing on any other
+        stream of the device raise — a cross-stream dependency the graph
+        cannot represent.  ``buffers`` optionally names the endpoint
+        buffers the op touches so graph replay can refuse freed ones.
+        """
+        capture = self.device.active_capture
+        if capture is not None:
+            from repro.dataplane.graph import GraphError
+
+            if capture.stream is not self:
+                raise GraphError(
+                    f"op {label!r} enqueued on {self.name} while "
+                    f"{capture.stream.name} is capturing: cross-stream "
+                    "dependencies are not capturable"
+                )
+            capture.add(run, label, buffers)
+            return Event(self.engine)
         done = Event(self.engine)
         # The enqueuer publishes its history to the worker (FIFO edge).
         record.release(("host", self.device.gpu_id), ("enq", id(done)))
@@ -59,6 +81,76 @@ class Stream:
         if obs is not None:
             obs.counter("stream", self.name, depth=self._outstanding)
         return done
+
+    # -- capture / graph launch ---------------------------------------------------
+    def begin_capture(self):
+        """Open a capture: subsequent enqueues record into a TransferGraph."""
+        from repro.dataplane.graph import GraphError, TransferGraph
+
+        if self.device.active_capture is not None:
+            raise GraphError(
+                f"{self.name}: device {self.device.name} already has an open "
+                f"capture on {self.device.active_capture.stream.name}"
+            )
+        graph = TransferGraph(self)
+        self.device.active_capture = graph
+        return graph
+
+    def end_capture(self):
+        """Close the capture; returns the sealed, launchable graph."""
+        from repro.dataplane.graph import GraphError
+
+        graph = self.device.active_capture
+        if graph is None or graph.stream is not self:
+            raise GraphError(f"{self.name}: no open capture to end")
+        self.device.active_capture = None
+        return graph.seal()
+
+    def graph_launch(self, graph) -> Event:
+        """Replay a sealed capture as one stream submission.
+
+        The recorded ops execute sequentially — the exact order and
+        simulated timing of enqueueing each one individually — but the
+        stream machinery runs once per launch instead of once per op.
+        Under ``REPRO_NO_GRAPHS`` (or any attached observer, which must
+        see per-op events) the launch degrades to per-op enqueues; both
+        paths return an event firing when the last op completed.
+        """
+        from repro.dataplane.graph import GRAPHS, GraphError, graphs_enabled
+
+        if not graph.sealed:
+            raise GraphError(
+                f"{self.name}: graph is still capturing — call end_capture "
+                "before launching"
+            )
+        if graph.stream.device is not self.device:
+            raise GraphError(
+                f"{self.name}: graph captured on device "
+                f"{graph.stream.device.name} cannot launch on {self.device.name}"
+            )
+        graph.check_buffers()
+        graph.launches += 1
+        GRAPHS.launches += 1
+        if (
+            graphs_enabled()
+            and self.engine.obs is None
+            and self.engine.on_step is None
+        ):
+            engine, name = self.engine, self.name
+
+            def replay():
+                result = None
+                for rec in graph.ops:
+                    result = yield engine.process(
+                        rec.make(), name=f"{name}.{rec.label}"
+                    )
+                return result
+
+            return self.enqueue(replay, label=f"graph[{len(graph.ops)}]")
+        last = None
+        for rec in graph.ops:
+            last = self.enqueue(rec.make, label=rec.label, buffers=rec.buffers)
+        return last
 
     # -- draining ----------------------------------------------------------------
     @property

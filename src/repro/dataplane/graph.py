@@ -1,0 +1,239 @@
+"""Captured transfer graphs: price once, replay as one submission.
+
+The eager dataplane pays full per-descriptor work on every submit —
+``validate()`` geometry checks, fabric route resolution, policy stripe
+planning — and the host engine pops one heap event per descriptor stage.
+Workloads that replay the *identical* transfer sequence thousands of
+times (Jacobi halo exchanges, LLM dp/tp/pp training steps) re-derive the
+same routes and stripe plans every iteration.  This module removes both
+costs, mirroring CUDA stream capture + graph launch:
+
+``PlanCache``
+    Descriptor-identity -> pre-resolved stripe plan.  The first submit
+    of a (src, dst, bytes, class) shape validates, routes, and stripes
+    as usual and records the plan; every later submit replays the cached
+    stripes without touching the route search or the policy.  Ledger
+    accounting still happens per submission, so per-class byte totals
+    are identical to the eager path.
+
+``GraphEngine``
+    An :class:`~repro.sim.engine.Engine` whose pops are accounted as
+    ``events_graphed`` instead of ``events_popped``.  A captured replay
+    runs the *same* simulation generators on a private GraphEngine — so
+    every timestamp, tie-break, and digest is bit-identical by
+    construction — while the host-visible engine sees a single
+    graph-launch event per replayed window.  The work does not vanish:
+    it moves off the host heap into the graph executor, exactly the way
+    a real CUDA graph moves launch work off the CPU.
+
+``TransferGraph``
+    The stream-capture record: ops enqueued on a simulated CUDA stream
+    between ``begin_capture`` / ``end_capture`` are recorded (not
+    executed, CUDA semantics) and later replayed by one
+    ``graph_launch`` stream op per iteration (:mod:`repro.cuda.stream`).
+
+The ``REPRO_NO_GRAPHS`` environment variable (any non-empty value)
+forces the eager path everywhere — the A/B knob CI uses to assert that
+simulated times and SHA-256 digests are unchanged by capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import bus as obs_bus
+from repro.sim.engine import STATS, Engine
+
+
+class GraphError(RuntimeError):
+    """An invalid capture: cross-stream dependency, freed buffer, misuse."""
+
+
+def graphs_enabled() -> bool:
+    """True when capture/replay fast paths may run (DESIGN.md §16).
+
+    Graph replay collapses host-visible pops, so — like coalescing
+    (DESIGN.md §11) — it is only legal when nothing observes individual
+    host pops: no ambient obs bus (its presence arms record hooks even
+    before a subscriber appears).  Engine-local observers (``obs`` /
+    ``on_step``) are checked by the call sites that own the engines.
+    ``REPRO_NO_GRAPHS`` forces the eager path for A/B equivalence runs.
+    """
+    return (
+        obs_bus._AMBIENT is None
+        and not os.environ.get("REPRO_NO_GRAPHS")
+    )
+
+
+class GraphCounters:
+    """Process-wide capture/replay counters (reset per bench entry)."""
+
+    __slots__ = ("launches", "captured_plans", "replayed_descriptors")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Graph-launch submissions (one per replayed window / iteration).
+        self.launches = 0
+        #: Plan-cache misses: descriptors validated + routed + striped.
+        self.captured_plans = 0
+        #: Plan-cache hits: descriptors replayed from a pre-priced plan.
+        self.replayed_descriptors = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "launches": self.launches,
+            "captured_plans": self.captured_plans,
+            "replayed_descriptors": self.replayed_descriptors,
+        }
+
+
+#: Module-level accumulator (single-process paths; the sharded executor
+#: reports per-shard counts through the cluster signature instead).
+GRAPHS = GraphCounters()
+
+
+class GraphEngine(Engine):
+    """A private engine whose pops count as ``events_graphed``.
+
+    Subclassing keeps every scheduling semantic — heap ordering,
+    ``(time, priority, seq)`` tie-breaks, pooled timeouts, horizon
+    clamping — literally the same code, so a simulation moved onto a
+    GraphEngine reproduces the eager event stream bit-for-bit.  Only the
+    stats flush differs: pops land in :data:`~repro.sim.engine.STATS`
+    as ``events_graphed``, keeping ``events_popped`` an honest count of
+    host-heap traffic.
+    """
+
+    __slots__ = ()
+
+    def _flush_stats(self) -> None:
+        flushed = self._flushed
+        STATS.events_graphed += self.events_popped - flushed[0]
+        STATS.events_coalesced += self.events_coalesced - flushed[1]
+        STATS.events_cancelled += self.events_cancelled - flushed[2]
+        if self.peak_heap > STATS.peak_heap:
+            STATS.peak_heap = self.peak_heap
+        flushed[0] = self.events_popped
+        flushed[1] = self.events_coalesced
+        flushed[2] = self.events_cancelled
+
+
+# --------------------------------------------------------------------------
+# dataplane plan cache
+# --------------------------------------------------------------------------
+
+class PlanCache:
+    """Descriptor identity -> pre-resolved stripe plan.
+
+    The key is endpoint *object* identity plus wire shape: two submits
+    hit the same plan only when they name the same live buffers with the
+    same byte-count, payload mode, and traffic class — exactly the
+    repeated-iteration case.  Stripes are pure (route tuple, byte count,
+    completion callback over the same buffers), so replaying them is
+    equivalent to re-planning; tests pin that equivalence.
+
+    Captured plans pin their endpoint buffers: replaying a plan whose
+    buffer has been freed since capture raises :class:`GraphError` (the
+    hazard the ``graph-capture-mutation`` analyzer rule flags statically).
+    """
+
+    __slots__ = ("_plans", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple, Tuple[Any, tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(desc) -> Tuple:
+        return (
+            id(desc.src), id(desc.dst), desc.nbytes,
+            desc.payload, desc.traffic_class,
+        )
+
+    def lookup(self, desc) -> Optional[tuple]:
+        """Cached stripes for ``desc``, or None on miss (then validate)."""
+        entry = self._plans.get(self._key(desc))
+        if entry is None:
+            return None
+        wire_bytes, stripes = entry
+        for buf in (desc.src, desc.dst):
+            if getattr(buf, "freed", False):
+                raise GraphError(
+                    f"{desc.name}: captured plan references freed buffer "
+                    f"{buf.label!r} — re-capture after freeing endpoints"
+                )
+        desc.wire_bytes = wire_bytes
+        self.hits += 1
+        GRAPHS.replayed_descriptors += 1
+        return stripes
+
+    def store(self, desc, stripes: tuple) -> None:
+        self._plans[self._key(desc)] = (desc.wire_bytes, stripes)
+        self.misses += 1
+        GRAPHS.captured_plans += 1
+
+
+# --------------------------------------------------------------------------
+# stream capture record
+# --------------------------------------------------------------------------
+
+class _GraphOp:
+    """One captured stream op: a generator factory plus provenance."""
+
+    __slots__ = ("make", "label", "buffers")
+
+    def __init__(self, make, label: str, buffers: tuple) -> None:
+        self.make = make
+        self.label = label
+        self.buffers = buffers
+
+
+class TransferGraph:
+    """Ops recorded between ``begin_capture`` and ``end_capture``.
+
+    The capture belongs to one stream; per CUDA capture-mode-global
+    semantics, work enqueued on any *other* stream of the same device
+    while the capture is open is a cross-stream dependency the capture
+    cannot represent, and raises :class:`GraphError`.  ``launch`` replays
+    the recorded ops in record order as one stream op.
+    """
+
+    __slots__ = ("stream", "ops", "sealed", "launches")
+
+    def __init__(self, stream) -> None:
+        self.stream = stream
+        self.ops: List[_GraphOp] = []
+        self.sealed = False
+        self.launches = 0
+
+    def add(self, make, label: str, buffers: tuple = ()) -> None:
+        if self.sealed:
+            raise GraphError(
+                f"graph on {self.stream.name}: cannot record into a sealed "
+                "capture — begin a new capture instead"
+            )
+        self.ops.append(_GraphOp(make, label, buffers))
+
+    def seal(self) -> "TransferGraph":
+        if not self.ops:
+            raise GraphError(
+                f"graph on {self.stream.name}: empty capture — no ops were "
+                "enqueued between begin_capture and end_capture"
+            )
+        self.sealed = True
+        return self
+
+    def check_buffers(self) -> None:
+        """Raise if any captured endpoint buffer was freed since capture."""
+        for op in self.ops:
+            for buf in op.buffers:
+                if getattr(buf, "freed", False):
+                    raise GraphError(
+                        f"graph on {self.stream.name}: op {op.label!r} "
+                        f"references freed buffer {buf.label!r} — freeing a "
+                        "captured buffer invalidates the graph"
+                    )

@@ -48,6 +48,12 @@ class Dataplane:
         self._multi_route_cache: Dict[Tuple[Port, Port, int], Tuple] = {}
         #: Descriptors submitted (asserted by tests; stripes live in the ledger).
         self.submissions = 0
+        #: Optional :class:`repro.dataplane.graph.PlanCache`: when set,
+        #: repeated submissions of an identical descriptor shape replay a
+        #: pre-priced stripe plan instead of re-validating, re-routing,
+        #: and re-planning.  Ledger accounting stays per-submission, so
+        #: byte totals and simulated times are unchanged (DESIGN.md §16).
+        self.plan_cache = None
         #: Cross-shard egress hook (see :mod:`repro.shard`): when set, a
         #: descriptor the bridge claims (its destination lives on another
         #: engine shard) is priced and mailed instead of routed locally —
@@ -96,6 +102,14 @@ class Dataplane:
             return self._staged_execute(desc)
         return self._execute(desc)
 
+    def enable_plan_cache(self) -> "Dataplane":
+        """Attach a fresh capture plan cache; idempotent, returns self."""
+        if self.plan_cache is None:
+            from repro.dataplane.graph import PlanCache
+
+            self.plan_cache = PlanCache()
+        return self
+
     def control(
         self,
         src: Buffer,
@@ -127,14 +141,23 @@ class Dataplane:
         if bridge is not None and bridge.claims(desc):
             self.submissions += 1
             return bridge.submit(desc)
-        desc.validate()
+        cache = self.plan_cache
+        stripes = cache.lookup(desc) if cache is not None else None
+        if stripes is None:
+            desc.validate()
         self.submissions += 1
-        return self._execute(desc)
+        return self._execute(desc, stripes)
 
     # -- execution ---------------------------------------------------------------
-    def _execute(self, desc: TransferDescriptor) -> Event:
-        primary = self.fabric.route(desc.src, desc.dst)
-        stripes = self.policy.plan(self, desc, primary)
+    def _execute(self, desc: TransferDescriptor, stripes: Optional[tuple] = None) -> Event:
+        if stripes is None:
+            cache = self.plan_cache
+            stripes = cache.lookup(desc) if cache is not None else None
+        if stripes is None:
+            primary = self.fabric.route(desc.src, desc.dst)
+            stripes = self.policy.plan(self, desc, primary)
+            if self.plan_cache is not None:
+                self.plan_cache.store(desc, stripes)
         self.ledger.account(desc, stripes)
         obs = self.engine.obs
         if obs is not None:

@@ -53,7 +53,7 @@ class Buffer:
         Global GPU index for DEVICE/UNIFIED buffers (None for host memory).
     """
 
-    __slots__ = ("data", "space", "node", "gpu", "label", "_registered")
+    __slots__ = ("data", "space", "node", "gpu", "label", "_registered", "freed")
 
     def __init__(
         self,
@@ -73,6 +73,7 @@ class Buffer:
         self.gpu = gpu
         self.label = label
         self._registered = False  # set by ucx mem_map
+        self.freed = False        # set by free(); checked by captured plans
 
     # -- factory helpers ---------------------------------------------------
     @classmethod
@@ -190,6 +191,17 @@ class Buffer:
             # link model; there is no payload to materialize.
             return
         np.copyto(self.data, src.data)
+
+    def free(self) -> None:
+        """Mark the allocation dead (cudaFree).
+
+        The NumPy payload stays readable — the simulation never segfaults
+        — but captured transfer graphs and plan caches that pinned this
+        buffer refuse to replay it (:class:`repro.dataplane.graph.GraphError`),
+        mirroring the use-after-free a real graph launch would make of a
+        freed device pointer.  Idempotent.
+        """
+        self.freed = True
 
     def same_allocation(self, other: "Buffer") -> bool:
         """True when both views share underlying memory."""

@@ -98,6 +98,14 @@ class RouteError(Exception):
 class Fabric:
     """All links of one machine plus route resolution and transfers."""
 
+    #: Optional cross-run route persistence hook (see
+    #: :class:`repro.workload.sweep.RouteCacheStore`): an object with
+    #: ``preload(fabric)`` called at construction and
+    #: ``record(fabric, key, links)`` called on every route-cache miss.
+    #: Class-level so sweeps can install it once for every fabric a
+    #: workload builds internally; None = no persistence.
+    route_store = None
+
     def __init__(self, engine: Engine, config: MachineLike) -> None:
         self.engine = engine
         self.config = config
@@ -141,6 +149,9 @@ class Fabric:
         #: (single route vs link-disjoint striping) is the dataplane
         #: policy's call — see repro.dataplane and DESIGN.md §12.
         self.dataplane = Dataplane(self)
+
+        if Fabric.route_store is not None:
+            Fabric.route_store.preload(self)
 
     # -- link registry ---------------------------------------------------------
     def iter_links(self):
@@ -188,7 +199,51 @@ class Fabric:
             except RouteSearchError as exc:
                 raise RouteError(str(exc)) from exc
             self._route_cache[key] = cached
+            if Fabric.route_store is not None:
+                Fabric.route_store.record(self, key, cached)
         return cached
+
+    # -- route-cache persistence ------------------------------------------------
+    @staticmethod
+    def route_key_str(key: Tuple[Port, Port]) -> str:
+        """Serialize a route-cache key: ``('gpu', 0), ('pag', 1)`` -> ``gpu:0|pag:1``."""
+        (skind, sid), (dkind, did) = key
+        return f"{skind}:{sid}|{dkind}:{did}"
+
+    def export_routes(self) -> Dict[str, List[str]]:
+        """JSON-serializable snapshot of the resolved route cache."""
+        return {
+            self.route_key_str(key): [link.name for link in links]
+            for key, links in self._route_cache.items()
+        }
+
+    def preload_routes(self, doc: Dict[str, List[str]]) -> int:
+        """Seed the route cache from an :meth:`export_routes` snapshot.
+
+        The snapshot must come from a fabric with the *same machine
+        spec* (callers key stores by spec hash); entries naming unknown
+        links or malformed keys are skipped — they simply recompute on
+        first use.  Returns the number of entries loaded.
+        """
+        by_name: Dict[str, Link] = {}
+        for link in self.graph.links:
+            if link.name in by_name:  # ambiguous registry: refuse to guess
+                return 0
+            by_name[link.name] = link
+        loaded = 0
+        for key_str, names in doc.items():
+            try:
+                s, d = key_str.split("|")
+                skind, sid = s.split(":")
+                dkind, did = d.split(":")
+                links = tuple(by_name[n] for n in names)
+            except (ValueError, KeyError):
+                continue
+            key = ((skind, int(sid)), (dkind, int(did)))
+            if key not in self._route_cache:
+                self._route_cache[key] = links
+                loaded += 1
+        return loaded
 
     # -- transfers --------------------------------------------------------------
     # Compatibility shims: the dataplane owns execution (descriptor

@@ -155,10 +155,14 @@ class NcclComm:
             stream = stream or self.device.default_stream
             return stream.enqueue(solo, label="ncclAllReduce")
 
-        seq = next(self._op_seq)
         stream = stream or self.device.default_stream
+        # The op sequence number is drawn when the op *starts executing*,
+        # not at enqueue: stream FIFO order makes both equivalent eagerly,
+        # and a stream-captured op then draws a fresh number per graph
+        # replay (per-seq clique state is one-shot, so replaying a baked
+        # number would rendezvous against spent flags).
         return stream.enqueue(
-            lambda: self._ring_kernel(seq, sendbuf, recvbuf, op),
+            lambda: self._ring_kernel(next(self._op_seq), sendbuf, recvbuf, op),
             label="ncclAllReduce",
         )
 

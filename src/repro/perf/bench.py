@@ -117,6 +117,49 @@ def _cluster_fattree_512() -> dict:
     }
 
 
+def _graph_replay(schedule, machine: str) -> dict:
+    """Shared shape of the captured-transfer-graph replay entries.
+
+    The replay runs in cluster graph mode: per-shard simulation happens
+    on private graph engines (``events_graphed``) behind one pre-priced
+    graph-launch host event per active window, so ``events_popped``
+    collapses by the per-iteration batching factor.  Digests and
+    ``t_end_us`` are bit-identical under ``REPRO_NO_GRAPHS=1``; the CI
+    smoke re-runs one entry that way and asserts exactly that.
+    """
+    from repro.workload.replay import ReplayWorkload
+
+    res = ReplayWorkload(schedule).run(machine=machine, shards=_CLUSTER_SHARDS)
+    sig = res.extra["signature"]
+    g = res.extra["graphs"]
+    eager_equiv = g["events_graphed"] if g["events_graphed"] else sig["events_popped"]
+    return {
+        "mode": res.mode,
+        "msg_digest": sig["msg_digest"],
+        "t_end_us": round(sig["t_end"] * 1e6, 3),
+        "cluster_events_popped": sig["events_popped"],
+        "events_graphed": g["events_graphed"],
+        "graph_launches": g["graph_launches"],
+        "pop_batching_factor": round(eager_equiv / sig["events_popped"], 2),
+    }
+
+
+def _graph_replay_jacobi() -> dict:
+    """10-iteration 4x2 Jacobi halo pattern, graph-captured replay."""
+    from repro.workload.generators import jacobi_schedule
+
+    return _graph_replay(jacobi_schedule(py=4, px=2, iters=10), "gh200-2x4")
+
+
+def _graph_replay_llm16() -> dict:
+    """16-rank 3D-parallel LLM step on a 16-GPU fat-tree, graph replay."""
+    from repro.workload.generators import llm_schedule
+
+    return _graph_replay(
+        llm_schedule(dp=2, tp=2, pp=4, microbatches=2), "fat-tree-16-n4-l2"
+    )
+
+
 SUITE = {
     "pingpong": _pingpong,
     "fig4-decimated": _fig4_decimated,
@@ -125,6 +168,8 @@ SUITE = {
     "fig8-jacobi": _fig8_jacobi,
     "striping-64MiB": _striping,
     "cluster-fattree-512": _cluster_fattree_512,
+    "graph-replay-jacobi": _graph_replay_jacobi,
+    "graph-replay-llm16": _graph_replay_llm16,
 }
 
 
@@ -134,18 +179,24 @@ def run_suite(names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
     An entry may return a dict of extra deterministic metrics (per-class
     byte ledgers, striping goodput); they are merged into its row.
     """
+    from repro.dataplane.graph import GRAPHS
+
     results: Dict[str, dict] = {}
     for name in names or SUITE:
         fn = SUITE.get(name)
         if fn is None:
             raise KeyError(f"unknown bench suite entry {name!r}; have {sorted(SUITE)}")
         STATS.reset()
+        GRAPHS.reset()
         t0 = time.perf_counter()
         extra = fn()
         wall = time.perf_counter() - t0
         snap = STATS.snapshot()
         snap.pop("events_cancelled", None)
-        row = {"wall_s": round(wall, 3), **snap}
+        if not snap.get("events_graphed"):
+            snap.pop("events_graphed", None)
+        row = {"wall_s": round(wall, 3), **snap,
+               "graph_launches": GRAPHS.launches}
         if isinstance(extra, dict):
             row.update(extra)
         results[name] = row
@@ -213,7 +264,7 @@ def main(argv=None) -> int:
         prog="python -m repro bench",
         description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
     )
-    parser.add_argument("--pr", type=int, default=8, help="PR number for the output filename")
+    parser.add_argument("--pr", type=int, default=9, help="PR number for the output filename")
     parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
     parser.add_argument("--suite", help="comma-separated subset of suite entries")
     parser.add_argument(

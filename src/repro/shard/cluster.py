@@ -65,6 +65,12 @@ class ClusterResult:
     results: Dict[int, List[Any]]   # shard id -> per-process return values
     t_end: float
     bytes_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Pops executed on private per-shard graph engines (0 when eager).
+    #: Deliberately outside :meth:`signature`: captured and eager runs of
+    #: the same schedule must agree on everything *in* the signature.
+    events_graphed: int = 0
+    #: Host graph-launch events (one per active window per graph shard).
+    graph_launches: int = 0
 
     def signature(self) -> dict:
         """The fields any two equivalent runs must match exactly."""
@@ -221,6 +227,11 @@ class ClusterJob:
         if self.collect_steps and mode != "reference":
             step_digests = {s.id: s.step_digest() for s in shards}
         return ClusterResult(
+            events_graphed=sum(
+                s.graph_engine.events_popped for s in shards
+                if s.graph_engine is not None
+            ),
+            graph_launches=sum(s.graph_launches() for s in shards),
             mode=mode,
             machine=self.spec.name,
             workload=self.workload_name,
@@ -233,6 +244,6 @@ class ClusterJob:
             per_shard_popped=per_shard,
             step_digests=step_digests,
             results={s.id: s.results() for s in shards},
-            t_end=max(s.engine.t_busy for s in shards),
+            t_end=max(s.busy_time() for s in shards),
             bytes_by_class=bytes_by_class,
         )

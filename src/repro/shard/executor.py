@@ -86,8 +86,9 @@ def _worker_main(conn, job: "ClusterJob", sids: List[int]) -> None:
                         "events_popped": s.engine.events_popped,
                         "snapshot": s.stats_snapshot(),
                         "step_digest": s.step_digest(),
-                        "t_end": s.engine.t_busy,
+                        "t_end": s.busy_time(),
                         "bytes_by_class": s.bridge.bytes_by_class,
+                        "graph_launches": s.graph_launches(),
                     }
                     for sid, s in sorted(shards.items())
                 ]))
@@ -231,6 +232,14 @@ class ShardedExecutor:
             results={sid: shard_info[sid]["results"] for sid in sorted(shard_info)},
             t_end=max(shard_info[sid]["t_end"] for sid in shard_info),
             bytes_by_class=bytes_by_class,
+            events_graphed=sum(
+                shard_info[sid]["snapshot"].get("events_graphed", 0)
+                for sid in sorted(shard_info)
+            ),
+            graph_launches=sum(
+                shard_info[sid].get("graph_launches", 0)
+                for sid in sorted(shard_info)
+            ),
         )
 
     @staticmethod

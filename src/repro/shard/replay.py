@@ -19,13 +19,24 @@ def build_replay(shard, cfg: dict) -> list:
     use the shard dataplane + rendezvous board; cross-shard sends become
     bridge-priced ``Shard.put`` messages keyed by the send key, which the
     receiving rank drains from its mailbox.
+
+    ``cfg["graphs"]`` (default False) asks the shard to replay as a
+    captured transfer graph: the identical rank generators run on a
+    private :class:`~repro.dataplane.graph.GraphEngine` behind one host
+    graph-launch event per window, with descriptor plans cached after
+    the first iteration.  Shards that cannot graph (shared reference
+    engine, observers, ``REPRO_NO_GRAPHS``) fall back to eager replay —
+    timestamps and digests are identical either way.
     """
     from repro.hw.memory import Buffer, MemSpace
     from repro.workload.replay import _Board
 
     import numpy as np
 
-    board = _Board(shard.engine)
+    if cfg.get("graphs"):
+        shard.enter_graph_mode()
+    engine = shard.run_engine
+    board = _Board(engine)
     dataplane = shard.fabric.dataplane
     srcs: Dict[Tuple[int, int], Any] = {}
 
@@ -54,7 +65,7 @@ def build_replay(shard, cfg: dict) -> list:
         for i, op in enumerate(my_ops):
             kind = op[0]
             if kind == "compute":
-                yield shard.engine.timeout(op[1])
+                yield engine.timeout(op[1])
             elif kind == "send":
                 _, dst, nbytes, cls, key = op
                 if shard.owns_gpu(dst):
@@ -76,16 +87,16 @@ def build_replay(shard, cfg: dict) -> list:
                     yield board.wait(key)
                 else:
                     yield shard.recv(g, key)
-        return (g, shard.engine.now)
+        return (g, engine.now)
 
     procs = []
     for g, my_ops in sorted(cfg["ops"].items()):
         if shard.owns_gpu(g) and my_ops:
             local = g - shard.gpu_base
-            procs.append(shard.engine.process(
+            procs.append(engine.process(
                 rank_proc(local, g, my_ops), name=f"replay.n{shard.id}.g{local}"
             ))
     return procs
 
 
-REPLAY_CLUSTER_DEFAULTS: Dict[str, Any] = {"ops": {}}
+REPLAY_CLUSTER_DEFAULTS: Dict[str, Any] = {"ops": {}, "graphs": False}

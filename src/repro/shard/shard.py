@@ -128,7 +128,7 @@ class ShardBridge:
             if desc.src.gpu is not None
             else shard.gpu_base  # host-sourced traffic prices via the boot NIC
         )
-        engine = shard.engine
+        engine = shard.run_engine
         deliver = shard.wire.deliver_time(engine.now, src_gpu, dst.gpu, nbytes)
         self._seq += 1
         msg = ShardMessage(
@@ -187,8 +187,63 @@ class Shard:
                 raise ValueError("step collection needs a dedicated shard engine")
             self._step_hash = hashlib.sha256()
             self.engine.on_step = self._hash_step
+        #: Private replay engine when the resident build opted into graph
+        #: mode (see :meth:`enter_graph_mode`); None = eager shard.
+        self.graph_engine = None
         #: Workload processes resident on this shard, in spawn order.
         self.procs: List[Process] = build(self, cfg)
+
+    # -- graph mode ----------------------------------------------------------
+    @property
+    def run_engine(self) -> Engine:
+        """The engine resident workload processes execute on."""
+        return self.graph_engine if self.graph_engine is not None else self.engine
+
+    def enter_graph_mode(self) -> Optional[Engine]:
+        """Move the shard's node simulation onto a private GraphEngine.
+
+        Resident builds call this (before spawning processes) to run the
+        whole node — fabric, mailbox, rank processes, step hashing — on a
+        :class:`~repro.dataplane.graph.GraphEngine`, a same-semantics
+        engine whose pops are accounted as ``events_graphed``.  The host
+        engine then carries exactly one pre-priced *graph-launch* event
+        per active window (scheduled by :meth:`step_window`), so the
+        conservative window protocol — and therefore every message
+        digest, step hash, and timestamp — is unchanged while host-heap
+        pops collapse to one per window.
+
+        Returns the graph engine, or None when graph mode is unavailable
+        (shared host engine, attached observer, or ``REPRO_NO_GRAPHS``)
+        — callers then simply stay on the eager shard engine.
+        """
+        from repro.dataplane.graph import GraphEngine, graphs_enabled
+
+        if (
+            self.engine.shard_id is None    # reference mode: shared engine
+            or self.engine.obs is not None  # observers must see real pops
+            or not graphs_enabled()
+        ):
+            return None
+        if getattr(self, "procs", None):  # unset while build() is running
+            raise MailboxError(
+                f"shard {self.id}: graph mode must be entered before "
+                "resident processes spawn"
+            )
+        graph = GraphEngine()
+        graph.shard_id = self.id
+        self.graph_engine = graph
+        # Rebuild the node-local state on the graph engine; the bridge
+        # object survives (it addresses whichever engine run_engine names).
+        self.fabric = Fabric(graph, self.local_spec)
+        self.mailbox = Mailbox(graph, self.id)
+        self.fabric.dataplane.bridge = self.bridge
+        self.fabric.dataplane.enable_plan_cache()
+        if self._step_hash is not None:
+            # The graph engine replays the eager pop stream bit-for-bit,
+            # so hashing its pops yields the same step digest.
+            graph.on_step = self._hash_step
+            self.engine.on_step = None
+        return graph
 
     # -- id mapping ----------------------------------------------------------
     def to_global(self, local_gpu: int) -> int:
@@ -225,13 +280,27 @@ class Shard:
     # -- driver surface ------------------------------------------------------
     def next_time(self) -> float:
         """Earliest local event time; +inf when the shard engine is idle."""
+        if self.graph_engine is not None:
+            return min(self.engine.peek(), self.graph_engine.peek())
         return self.engine.peek()
 
     def step_window(self, horizon: float, batch: List[ShardMessage]) -> List[ShardMessage]:
         """Inject one window's messages, run to the horizon, drain egress."""
         t0 = self.engine.now
         self.mailbox.schedule(batch)
-        self.engine.run(horizon)
+        graph = self.graph_engine
+        if graph is not None:
+            # One pre-priced host event per active window: the graph
+            # launch, scheduled at the window's first device activity.
+            # Everything else this window pops on the private graph
+            # engine (accounted as events_graphed).
+            nxt = graph.peek()
+            if nxt <= horizon:
+                self.engine.timeout_at(nxt)
+            self.engine.run(horizon)
+            graph.run(horizon)
+        else:
+            self.engine.run(horizon)
         out = self.bridge.drain()
         obs = self.engine.obs
         if obs is not None:
@@ -261,13 +330,25 @@ class Shard:
         """SHA-256 of the shard's ``(time, priority, seq)`` pop stream."""
         return self._step_hash.hexdigest() if self._step_hash is not None else None
 
+    def busy_time(self) -> float:
+        """Time of the last event processed on either shard engine."""
+        if self.graph_engine is not None:
+            return max(self.engine.t_busy, self.graph_engine.t_busy)
+        return self.engine.t_busy
+
+    def graph_launches(self) -> int:
+        """Host graph-launch events issued (0 on an eager shard)."""
+        return self.engine.events_popped if self.graph_engine is not None else 0
+
     def stats_snapshot(self) -> dict:
         e = self.engine
+        g = self.graph_engine
         return {
             "events_popped": e.events_popped,
-            "events_coalesced": e.events_coalesced,
-            "events_cancelled": e.events_cancelled,
-            "peak_heap": e.peak_heap,
+            "events_coalesced": e.events_coalesced + (g.events_coalesced if g else 0),
+            "events_cancelled": e.events_cancelled + (g.events_cancelled if g else 0),
+            "events_graphed": g.events_popped if g else 0,
+            "peak_heap": max(e.peak_heap, g.peak_heap if g else 0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

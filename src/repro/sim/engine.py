@@ -40,7 +40,10 @@ class SimStats:
     total heap traffic over the many short-lived Worlds a sweep creates.
     """
 
-    __slots__ = ("events_popped", "events_coalesced", "events_cancelled", "peak_heap")
+    __slots__ = (
+        "events_popped", "events_coalesced", "events_cancelled",
+        "events_graphed", "peak_heap",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -49,6 +52,12 @@ class SimStats:
         self.events_popped = 0
         self.events_coalesced = 0
         self.events_cancelled = 0
+        #: Pops executed inside a captured-graph replay engine
+        #: (:class:`repro.dataplane.graph.GraphEngine`).  They are the same
+        #: simulated events the eager path pops, but they run on a private
+        #: heap behind one host-visible graph-launch event, so they are
+        #: accounted separately from host ``events_popped``.
+        self.events_graphed = 0
         self.peak_heap = 0
 
     def snapshot(self) -> dict:
@@ -56,6 +65,7 @@ class SimStats:
             "events_popped": self.events_popped,
             "events_coalesced": self.events_coalesced,
             "events_cancelled": self.events_cancelled,
+            "events_graphed": self.events_graphed,
             "peak_heap": self.peak_heap,
         }
 
@@ -70,6 +80,7 @@ class SimStats:
         self.events_popped += snap["events_popped"]
         self.events_coalesced += snap["events_coalesced"]
         self.events_cancelled += snap["events_cancelled"]
+        self.events_graphed += snap.get("events_graphed", 0)
         if snap["peak_heap"] > self.peak_heap:
             self.peak_heap = snap["peak_heap"]
 

@@ -57,6 +57,9 @@ def main_sweep(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="worker count for shard-capable workloads")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        help="cap the cell cache at this many MiB with "
+                        "least-recently-used eviction (default: unbounded)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always run; do not read or write the cache")
     parser.add_argument("--param", action="append", default=[],
@@ -73,6 +76,10 @@ def main_sweep(argv=None) -> int:
             shards=args.shards,
             params=_parse_params(args.param),
             cache_dir=None if args.no_cache else args.cache_dir,
+            cache_max_bytes=(
+                int(args.cache_max_mb * 1024 * 1024)
+                if args.cache_max_mb is not None else None
+            ),
             printer=print,
         )
     except WorkloadError as exc:

@@ -275,3 +275,71 @@ def llm_schedule(
                      source=f"<{label}>")
     _validate(sched)
     return sched
+
+
+# --------------------------------------------------------------------------
+# Jacobi halo-exchange pattern
+# --------------------------------------------------------------------------
+
+def jacobi_schedule(
+    py: int = 4,
+    px: int = 2,
+    iters: int = 10,
+    halo_bytes: int = 64 * 1024,
+    compute_us: float = 80.0,
+    name: Optional[str] = None,
+) -> Schedule:
+    """Synthesize the Jacobi solver's iteration pattern on a py × px grid.
+
+    Each of the ``py * px`` ranks runs ``iters`` iterations of: stencil
+    compute, one halo send per neighbour (north/south/east/west, tagged
+    by the direction the message travels), then the matching receives.
+    The same four channels repeat every iteration, which is exactly the
+    shape the dataplane's capture plan cache and graph replay amortize.
+    """
+    for label_, v in (("py", py), ("px", px), ("iters", iters),
+                      ("halo_bytes", halo_bytes)):
+        if not isinstance(v, int) or v < 1:
+            raise ReplayError(
+                f"jacobi_schedule: {label_} must be a positive integer, got {v!r}"
+            )
+    ranks = py * px
+    # Direction codes and their reverses (matches repro.apps.jacobi).
+    north, south, east, west = 0, 1, 2, 3
+    opposite = {north: south, south: north, east: west, west: east}
+
+    def neighbours(r: int):
+        ry, rx = divmod(r, px)
+        out_ = {}
+        if ry > 0:
+            out_[north] = (ry - 1) * px + rx
+        if ry < py - 1:
+            out_[south] = (ry + 1) * px + rx
+        if rx < px - 1:
+            out_[east] = ry * px + (rx + 1)
+        if rx > 0:
+            out_[west] = ry * px + (rx - 1)
+        return out_
+
+    out: List[Step] = []
+
+    def add(rank: int, op: str, **fields) -> None:
+        out.append(Step(rank, op, len(out) + 2, fields))
+
+    for _it in range(iters):
+        for r in range(ranks):
+            add(r, "compute", us=compute_us)
+        # All sends of the iteration precede all receives so every recv's
+        # matching send occurrence sits at an earlier schedule line.
+        for r in range(ranks):
+            for d in sorted(neighbours(r)):
+                add(r, "send", peer=neighbours(r)[d], bytes=halo_bytes,
+                    tag=f"halo.{d}", **{"class": "halo"})
+        for r in range(ranks):
+            for d in sorted(neighbours(r)):
+                add(r, "recv", peer=neighbours(r)[d], tag=f"halo.{opposite[d]}")
+
+    label = name or f"jacobi-{py}x{px}"
+    sched = Schedule(ranks=ranks, steps=out, name=label, source=f"<{label}>")
+    _validate(sched)
+    return sched

@@ -21,7 +21,11 @@ Step vocabulary (all sizes in bytes, times in microseconds):
     Two-sided message, matched per ``(sender, receiver, tag)`` channel in
     occurrence order.  ``class`` tags the traffic for the per-class
     ledger; a ``recv`` that states ``bytes`` must agree with its matched
-    send.
+    send.  A ``recv`` may give the wildcard tag ``"*"`` — it matches the
+    sender's next unmatched send *regardless of tag*, in schedule order,
+    the way lossy NCCL-style logs record arrivals without tags.  A
+    (sender, receiver) pair must be all-wildcard or all-tagged: mixing
+    the two would make matching ambiguous and is rejected.
 ``put``
     One-sided write: times the wire like a send, no matching recv.
 ``partitioned``
@@ -77,6 +81,9 @@ SCHEMA = "repro.workload.replay/1"
 DEFAULT_CLASS = "replay"
 BARRIER_CLASS = "replay-barrier"
 BARRIER_BYTES = 8
+
+#: recv-side wildcard tag: match the peer's sends in schedule order.
+WILDCARD_TAG = "*"
 
 _P2P_SEND_OPS = ("send", "put", "partitioned")
 _COLLECTIVE_OPS = ("allreduce", "barrier")
@@ -230,6 +237,8 @@ def _validate(sched: Schedule) -> None:
     # (sender, receiver, tag) -> [send steps] / [recv steps], occurrence order
     sends: Dict[Tuple[int, int, Any], List[Step]] = {}
     recvs: Dict[Tuple[int, int, Any], List[Step]] = {}
+    # (sender, receiver) -> [wildcard recv steps], occurrence order
+    wilds: Dict[Tuple[int, int], List[Step]] = {}
     # group tuple -> rank -> [(op, bytes, class), ...]
     colls: Dict[Tuple[int, ...], Dict[int, List[Tuple]]] = {}
 
@@ -254,8 +263,14 @@ def _validate(sched: Schedule) -> None:
             tag = s.get("tag", 0)
             if not isinstance(tag, (str, int)) or isinstance(tag, bool):
                 raise _err(src_name, s.line, f"{what}: field 'tag' must be a string or integer, got {tag!r}")
+            if tag == WILDCARD_TAG and s.op != "recv":
+                raise _err(src_name, s.line,
+                           f"{what}: the wildcard tag {WILDCARD_TAG!r} is recv-only")
             if s.op == "recv":
-                recvs.setdefault((peer, s.rank, tag), []).append(s)
+                if tag == WILDCARD_TAG:
+                    wilds.setdefault((peer, s.rank), []).append(s)
+                else:
+                    recvs.setdefault((peer, s.rank, tag), []).append(s)
             elif s.op != "put":
                 sends.setdefault((s.rank, peer, tag), []).append(s)
         elif s.op in _COLLECTIVE_OPS:
@@ -305,9 +320,48 @@ def _validate(sched: Schedule) -> None:
         if sid is not None:
             ids_seen[s.rank].add(sid)
 
+    # Wildcard matching: pair-wide, in schedule order across all tags.
+    for pair in sorted(wilds):
+        src_rank, dst_rank = pair
+        tagged = [
+            chan for chan in recvs
+            if (chan[0], chan[1]) == pair and recvs[chan]
+        ]
+        if tagged:
+            ref = wilds[pair][0]
+            raise _err(
+                src_name, ref.line,
+                f"channel {src_rank}->{dst_rank}: wildcard and tagged recvs "
+                "mix on the same pair — matching would be ambiguous",
+            )
+        pair_sends = sorted(
+            (snd for chan, ss in sends.items()
+             if (chan[0], chan[1]) == pair for snd in ss),
+            key=lambda s: s.line,
+        )
+        if len(pair_sends) != len(wilds[pair]):
+            ref = wilds[pair][0]
+            raise _err(
+                src_name, ref.line,
+                f"channel {src_rank}->{dst_rank}: {len(pair_sends)} send(s) "
+                f"but {len(wilds[pair])} wildcard recv(s) — counts must match "
+                "pair-wide",
+            )
+        for occ, (snd, rcv) in enumerate(zip(pair_sends, wilds[pair])):
+            if "bytes" in rcv.fields and rcv["bytes"] != snd["bytes"]:
+                raise _err(
+                    src_name, rcv.line,
+                    f"channel {src_rank}->{dst_rank} wildcard occurrence "
+                    f"{occ}: recv states {rcv['bytes']} bytes but the matched "
+                    f"send (line {snd.line}) sends {snd['bytes']}",
+                )
+
     # Two-sided matching: same channel, same count, agreeing sizes.
+    wild_pairs = set(wilds)
     for chan in sorted(set(sends) | set(recvs), key=repr):
         src_rank, dst_rank, tag = chan
+        if (src_rank, dst_rank) in wild_pairs:
+            continue  # consumed by pair-wide wildcard matching above
         ns, nr = len(sends.get(chan, ())), len(recvs.get(chan, ()))
         if ns != nr:
             ref = (sends.get(chan) or recvs.get(chan))[0]
@@ -369,13 +423,23 @@ def lower(sched: Schedule) -> Dict[int, List[tuple]]:
     ops: Dict[int, List[tuple]] = {r: [] for r in range(sched.ranks)}
     send_occ: Dict[Tuple[int, int, Any], int] = {}
     recv_occ: Dict[Tuple[int, int, Any], int] = {}
+    wild_occ: Dict[Tuple[int, int], int] = {}
     send_info: Dict[Tuple[int, int, Any], List[Step]] = {}
+    # (sender, receiver) -> [(chan, chan-occurrence, step)], schedule order
+    # — wildcard recvs match pair-wide but wait on the matched send's own
+    # channel keys, so send lowering never needs to know about wildcards.
+    pair_sends: Dict[Tuple[int, int], List[Tuple[Tuple, int, Step]]] = {}
     coll_occ: Dict[Tuple[int, ...], Dict[int, int]] = {}
     groups: List[Tuple[int, ...]] = []
 
     for s in sched.steps:
         if s.op in ("send", "partitioned"):
-            send_info.setdefault((s.rank, s["peer"], s.get("tag", 0)), []).append(s)
+            chan = (s.rank, s["peer"], s.get("tag", 0))
+            pre = send_info.setdefault(chan, [])
+            pair_sends.setdefault((s.rank, s["peer"]), []).append(
+                (chan, len(pre), s)
+            )
+            pre.append(s)
 
     def chunk_sizes(total: int, parts: int) -> List[int]:
         base, rem = divmod(total, parts)
@@ -398,10 +462,17 @@ def lower(sched: Schedule) -> Dict[int, List[tuple]]:
                     out.append(("send", s["peer"], nbytes, cls,
                                 ("p",) + chan + (occ, i)))
         elif s.op == "recv":
-            chan = (s["peer"], s.rank, s.get("tag", 0))
-            occ = recv_occ.get(chan, 0)
-            recv_occ[chan] = occ + 1
-            snd = send_info[chan][occ]
+            tag = s.get("tag", 0)
+            if tag == WILDCARD_TAG:
+                pair = (s["peer"], s.rank)
+                j = wild_occ.get(pair, 0)
+                wild_occ[pair] = j + 1
+                chan, occ, snd = pair_sends[pair][j]
+            else:
+                chan = (s["peer"], s.rank, tag)
+                occ = recv_occ.get(chan, 0)
+                recv_occ[chan] = occ + 1
+                snd = send_info[chan][occ]
             parts = snd.get("partitions", 1) if snd.op == "partitioned" else 1
             for i, nbytes in enumerate(chunk_sizes(snd["bytes"], parts)):
                 if nbytes:
@@ -469,15 +540,33 @@ class _Board:
 # world-mode interpreter (single engine, full fabric)
 # --------------------------------------------------------------------------
 
-def _replay_on_fabric(machine: MachineLike, ops: Dict[int, List[tuple]]) -> dict:
-    """Replay lowered ops on one engine + fabric; returns run facts."""
+def _replay_on_fabric(
+    machine: MachineLike, ops: Dict[int, List[tuple]], graphs: bool = False,
+) -> dict:
+    """Replay lowered ops on one engine + fabric; returns run facts.
+
+    With ``graphs=True`` the rank programs run on a private
+    :class:`~repro.dataplane.graph.GraphEngine` behind a *single* host
+    graph-launch event (stream-triggered issue: the host heap sees one
+    pop, not one per descriptor), with descriptor plans cached across
+    repeated submissions.  Timestamps and the per-class ledger are
+    bit-identical to the eager path; only where the pops are counted
+    changes (``events_graphed`` vs ``events_popped``).
+    """
     from repro.hw.memory import Buffer, MemSpace
     from repro.hw.topology import Fabric
     from repro.sim.engine import Engine
 
     import numpy as np
 
-    engine = Engine()
+    if graphs:
+        from repro.dataplane.graph import GRAPHS, GraphEngine
+
+        host = Engine()
+        engine: Engine = GraphEngine()
+    else:
+        host = None
+        engine = Engine()
     fabric = Fabric(engine, machine)
     topo = fabric.topo
     dataplane = fabric.dataplane
@@ -526,19 +615,43 @@ def _replay_on_fabric(machine: MachineLike, ops: Dict[int, List[tuple]]) -> dict
                     nbytes, traffic_class=cls, name=f"replay.r{rank}.{i}",
                 )
 
+    if graphs:
+        dataplane.enable_plan_cache()
+
     procs = [
         engine.process(rank_proc(rank, rank_ops), name=f"replay.r{rank}")
         for rank, rank_ops in sorted(ops.items())
         if rank_ops
     ]
-    engine.run()
+    if host is not None:
+        def launcher():
+            # One host event replays the whole captured program: the
+            # graph engine drains synchronously, then the host clock
+            # advances to the graph's completion time.
+            engine.run()
+            GRAPHS.launches += 1
+            yield host.timeout_at(engine.now)
+
+        host.process(launcher(), name="replay.graph-launch")
+        host.run()
+    else:
+        engine.run()
     for p in procs:
         if not p.ok:  # pragma: no cover - surfacing simulation bugs
             raise RuntimeError(f"replay rank failed: {p.value!r}")
-    return {
+    facts = {
         "t_end": engine.now,
         "class_bytes": dataplane.ledger.as_dict(),
     }
+    if graphs:
+        cache = dataplane.plan_cache
+        facts["graphs"] = {
+            "graph_launches": 1,
+            "events_graphed": engine.events_popped,
+            "captured_plans": cache.misses,
+            "replayed_descriptors": cache.hits,
+        }
+    return facts
 
 
 # --------------------------------------------------------------------------
@@ -590,21 +703,31 @@ class ReplayWorkload(Workload):
             )
         if mode == "cluster":
             return self._execute_cluster(spec, ops, shards)
-        facts = _replay_on_fabric(machine, ops)
+        from repro.dataplane.graph import graphs_enabled
+
+        facts = _replay_on_fabric(machine, ops, graphs=graphs_enabled())
         series = self._series(facts["class_bytes"], facts["t_end"])
+        extra = {"t_end": facts["t_end"], "ranks": sched.ranks,
+                 "steps": len(sched.steps)}
+        if "graphs" in facts:
+            extra["graphs"] = facts["graphs"]
         return ExecOutcome(
             series=series,
             mode="world",
             class_bytes=facts["class_bytes"],
             digests={"schedule": sched.digest},
-            extra={"t_end": facts["t_end"], "ranks": sched.ranks,
-                   "steps": len(sched.steps)},
+            extra=extra,
         )
 
     def _execute_cluster(self, spec, ops, shards) -> ExecOutcome:
+        from repro.dataplane.graph import graphs_enabled
         from repro.shard import ClusterJob
 
-        job = ClusterJob(spec, "replay", cfg={"ops": ops}, collect_steps=True)
+        job = ClusterJob(
+            spec, "replay",
+            cfg={"ops": ops, "graphs": graphs_enabled()},
+            collect_steps=True,
+        )
         result = job.run(workers=shards)
         sig = result.signature()
         series = self._series(
@@ -621,7 +744,9 @@ class ReplayWorkload(Workload):
             class_bytes=sig.get("bytes_by_class", {}),
             digests=digests,
             extra={"signature": sig, "ranks": self.schedule.ranks,
-                   "steps": len(self.schedule.steps)},
+                   "steps": len(self.schedule.steps),
+                   "graphs": {"graph_launches": result.graph_launches,
+                              "events_graphed": result.events_graphed}},
             events_popped=sig["events_popped"],
         )
 

@@ -64,10 +64,19 @@ def cell_key(
 
 
 class SweepCache:
-    """One JSON file per cell, named by its content-addressed key."""
+    """One JSON file per cell, named by its content-addressed key.
 
-    def __init__(self, root: str) -> None:
+    ``max_bytes`` caps the total size of cached cells with LRU
+    eviction: every cache hit touches its file's mtime, and a store
+    that pushes the cache past the cap deletes least-recently-used
+    cells until it fits again (the entry just written is exempt, so a
+    single oversized cell still caches).
+    """
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
         self.root = root
+        self.max_bytes = max_bytes
+        self.evicted = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -81,6 +90,10 @@ class SweepCache:
             return None
         except (json.JSONDecodeError, KeyError) as exc:
             raise WorkloadError(f"corrupt sweep cache entry {path}: {exc}") from exc
+        try:
+            os.utime(path)  # mark recently used for LRU eviction
+        except OSError:  # pragma: no cover - raced with eviction
+            pass
         return WorkloadResult.from_dict(doc)
 
     def store(self, key: str, result: WorkloadResult) -> None:
@@ -91,9 +104,107 @@ class SweepCache:
             json.dump(result.as_dict(), fh, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
+        self._evict(keep=path)
+
+    def _evict(self, keep: str) -> None:
+        if not self.max_bytes:
+            return
+        entries = []  # (mtime, size, path) for every cached cell
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:  # pragma: no cover - raced with cleanup
+            return
+        for fname in names:
+            if not fname.endswith(".json"):
+                continue
+            path = os.path.join(self.root, fname)
+            try:
+                st = os.stat(path)
+            except OSError:  # pragma: no cover - raced with eviction
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _mt, size, _p in entries)
+        for _mtime, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - raced with eviction
+                continue
+            total -= size
+            self.evicted += 1
+
+
+class RouteCacheStore:
+    """Cross-run route-cache persistence, keyed by machine-spec hash.
+
+    Installed as :attr:`repro.hw.topology.Fabric.route_store` for the
+    duration of a sweep: every fabric the sweep's workloads build —
+    including each shard's node-local fabric — preloads the routes a
+    previous run resolved for the *same spec content* and records any
+    new resolutions.  :meth:`flush` writes one
+    ``routes/<spec-hash>.json`` per touched spec (atomic replace), so
+    ``Fabric.route_computations`` drops to zero for warm pairs on the
+    next run.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._mem: Dict[str, Dict[str, list]] = {}   # spec hash -> snapshot
+        self._dirty: set = set()
+        self.preloaded = 0
+
+    def _path(self, shash: str) -> str:
+        return os.path.join(self.root, f"{shash}.json")
+
+    def _spec_hash(self, fabric) -> str:
+        return sha256_hex(canonical_json(dataclasses.asdict(fabric.spec)))
+
+    def _snapshot(self, shash: str) -> Dict[str, list]:
+        snap = self._mem.get(shash)
+        if snap is None:
+            try:
+                with open(self._path(shash)) as fh:
+                    snap = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                snap = {}
+            if not isinstance(snap, dict):  # corrupt: start over
+                snap = {}
+            self._mem[shash] = snap
+        return snap
+
+    # -- Fabric hooks --------------------------------------------------------
+    def preload(self, fabric) -> None:
+        snap = self._snapshot(self._spec_hash(fabric))
+        if snap:
+            self.preloaded += fabric.preload_routes(snap)
+
+    def record(self, fabric, key, links) -> None:
+        shash = self._spec_hash(fabric)
+        snap = self._snapshot(shash)
+        snap[fabric.route_key_str(key)] = [link.name for link in links]
+        self._dirty.add(shash)
+
+    # -- persistence ---------------------------------------------------------
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        for shash in sorted(self._dirty):
+            path = self._path(shash)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(self._mem[shash], fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        self._dirty.clear()
 
 
 DEFAULT_CACHE_DIR = ".sweep-cache"
+#: Route snapshots live beside the cell files, outside LRU accounting.
+ROUTES_SUBDIR = "routes"
 
 
 def run_sweep(
@@ -103,18 +214,24 @@ def run_sweep(
     shards: Optional[int] = None,
     params: Optional[Dict[str, Any]] = None,
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    cache_max_bytes: Optional[int] = None,
     printer: Optional[Callable[[str], None]] = None,
 ) -> dict:
     """Run the full (workload × machine × policy) grid.
 
     Returns ``{"cells": [...], "hits": n, "misses": n}`` where each cell
     carries its key, coordinates, cache status, and the full
-    ``WorkloadResult.as_dict()``.  ``cache_dir=None`` disables caching.
-    ``shards`` applies only to shard-capable workloads; others run on
-    their single engine regardless.
+    ``WorkloadResult.as_dict()``.  ``cache_dir=None`` disables caching;
+    ``cache_max_bytes`` bounds the cell cache with LRU eviction.  While
+    caching is on, resolved fabric routes persist across runs per
+    machine-spec hash (see :class:`RouteCacheStore`).  ``shards``
+    applies only to shard-capable workloads; others run on their single
+    engine regardless.
     """
+    from repro.hw.topology import Fabric
+
     say = printer if printer is not None else (lambda _msg: None)
-    cache = SweepCache(cache_dir) if cache_dir else None
+    cache = SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir else None
     resolved: List[Workload] = [
         wl if isinstance(wl, Workload) else resolve_spec(wl) for wl in workloads
     ]
@@ -122,35 +239,50 @@ def run_sweep(
         raise WorkloadError("sweep needs at least one workload")
     if not machines:
         raise WorkloadError("sweep needs at least one machine")
+    route_store = None
+    prev_store = Fabric.route_store
+    if cache_dir:
+        route_store = RouteCacheStore(os.path.join(cache_dir, ROUTES_SUBDIR))
+        Fabric.route_store = route_store
     cells: List[dict] = []
     hits = misses = 0
-    for wl in resolved:
-        wl_params = params or {}
-        for machine in machines:
-            for policy in policies:
-                key = cell_key(machine, wl, policy, wl_params)
-                label = f"{wl.name} × {machine} × {policy or 'default'}"
-                cached = cache.load(key) if cache is not None else None
-                if cached is not None:
-                    hits += 1
-                    say(f"HIT  {label}  [{key[:12]}]")
-                    result = cached
-                else:
-                    misses += 1
-                    say(f"MISS {label}  [{key[:12]}] -> running")
-                    use_shards = shards if wl.supports_shards else None
-                    result = wl.run(
-                        machine=machine, policy=policy, shards=use_shards,
-                        **wl_params,
-                    )
-                    if cache is not None:
-                        cache.store(key, result)
-                cells.append({
-                    "key": key,
-                    "workload": wl.name,
-                    "machine": machine,
-                    "policy": policy if policy is not None else "default",
-                    "cached": cached is not None,
-                    "result": result.as_dict(),
-                })
-    return {"cells": cells, "hits": hits, "misses": misses}
+    try:
+        for wl in resolved:
+            wl_params = params or {}
+            for machine in machines:
+                for policy in policies:
+                    key = cell_key(machine, wl, policy, wl_params)
+                    label = f"{wl.name} × {machine} × {policy or 'default'}"
+                    cached = cache.load(key) if cache is not None else None
+                    if cached is not None:
+                        hits += 1
+                        say(f"HIT  {label}  [{key[:12]}]")
+                        result = cached
+                    else:
+                        misses += 1
+                        say(f"MISS {label}  [{key[:12]}] -> running")
+                        use_shards = shards if wl.supports_shards else None
+                        result = wl.run(
+                            machine=machine, policy=policy, shards=use_shards,
+                            **wl_params,
+                        )
+                        if cache is not None:
+                            cache.store(key, result)
+                    cells.append({
+                        "key": key,
+                        "workload": wl.name,
+                        "machine": machine,
+                        "policy": policy if policy is not None else "default",
+                        "cached": cached is not None,
+                        "result": result.as_dict(),
+                    })
+    finally:
+        Fabric.route_store = prev_store
+        if route_store is not None:
+            route_store.flush()
+    out = {"cells": cells, "hits": hits, "misses": misses}
+    if cache is not None and cache.evicted:
+        out["evicted"] = cache.evicted
+    if route_store is not None:
+        out["routes_preloaded"] = route_store.preloaded
+    return out

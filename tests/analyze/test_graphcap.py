@@ -1,0 +1,114 @@
+"""Captured-transfer-graph lifetime checks (graph-capture-mutation)."""
+
+import textwrap
+
+from .conftest import rules_of
+
+ONLY = ["graph-capture-mutation"]
+
+
+def src(body, path="src/repro/apps/m.py"):
+    return {path: textwrap.dedent(body)}
+
+
+def test_free_between_capture_and_launch_flagged(analyze):
+    findings = analyze(src("""
+        def step(gpu, stream, buf, kernel):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            buf.free()
+            stream.graph_launch(graph)
+    """), only=ONLY)
+    assert rules_of(findings) == ["graph-capture-mutation"]
+    assert findings[0].line == 6
+    assert findings[0].function == "step"
+
+
+def test_free_inside_replay_loop_flagged(analyze):
+    # The free runs after the first launch but before the back edge —
+    # every subsequent replay acts on freed memory.
+    findings = analyze(src("""
+        def steps(gpu, stream, scratch, kernel, iters):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            for _ in range(iters):
+                stream.graph_launch(graph)
+                scratch.free()
+    """), only=ONLY)
+    assert rules_of(findings) == ["graph-capture-mutation"]
+    assert findings[0].line == 8
+
+
+def test_spec_mutation_between_capture_and_launch_flagged(analyze):
+    findings = analyze(src("""
+        def step(gpu, stream, desc, kernel):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            desc.nbytes = 0
+            yield from gpu.graph_launch_h(graph)
+    """), only=ONLY)
+    assert rules_of(findings) == ["graph-capture-mutation"]
+    assert "desc.nbytes" in findings[0].message
+
+
+def test_free_after_last_launch_clean(analyze):
+    findings = analyze(src("""
+        def step(gpu, stream, buf, kernel):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            stream.graph_launch(graph)
+            buf.free()
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_free_before_capture_clean(analyze):
+    findings = analyze(src("""
+        def step(gpu, stream, old, kernel):
+            old.free()
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            stream.graph_launch(graph)
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_capture_only_and_replay_only_functions_out_of_scope(analyze):
+    # Ordering across functions is the caller's concern — beyond a
+    # per-function CFG, so neither half is analyzed alone.
+    findings = analyze(src("""
+        def capture(gpu, stream, buf, kernel):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            buf.free()
+            return stream.end_capture()
+
+        def replay(stream, graph, buf):
+            buf.free()
+            stream.graph_launch(graph)
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_inline_suppression_silences_reviewed_site(analyze):
+    findings = analyze(src("""
+        def step(gpu, stream, buf, kernel):
+            stream.begin_capture()
+            gpu.launch(kernel)
+            graph = stream.end_capture()
+            buf.free()  # repro: ignore[graph-capture-mutation]
+            stream.graph_launch(graph)
+    """), only=ONLY)
+    assert findings == []
+
+
+def test_repo_source_is_clean(analyze_path):
+    from .conftest import REPRO_SRC
+
+    findings = analyze_path(REPRO_SRC, only=ONLY)
+    assert findings == []

@@ -17,6 +17,8 @@ EXPECTED_RULES = {
     "det-id-order", "det-float-accum",
     # static happens-before
     "hb-read-unordered", "hb-send-overwrite",
+    # captured transfer graphs
+    "graph-capture-mutation",
 }
 
 

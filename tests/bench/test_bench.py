@@ -67,6 +67,25 @@ def test_exhibit_registry_complete():
         assert callable(fn)
 
 
+def test_bench_suite_has_graph_replay_entries():
+    from repro.perf.bench import SUITE
+
+    assert "graph-replay-jacobi" in SUITE
+    assert "graph-replay-llm16" in SUITE
+
+
+def test_graph_replay_bench_entry_batches_pops():
+    from repro.perf.bench import run_suite
+
+    row = run_suite(["graph-replay-jacobi"])["graph-replay-jacobi"]
+    assert row["graph_launches"] > 0
+    assert row["events_graphed"] > 0
+    # ISSUE acceptance: >= 3x fewer host pops than the eager equivalent.
+    assert row["pop_batching_factor"] >= 3.0
+    assert row["events_graphed"] >= 3 * row["cluster_events_popped"]
+    assert row["msg_digest"]
+
+
 def test_goodput_monotone_niceness():
     """Goodput grows with kernel size for the traditional model."""
     g_small = measure_p2p_goodput(4, "sendrecv", ONE_NODE)
