@@ -24,7 +24,7 @@ PYTHONPATH=src python -m repro bench --suite cluster-fattree-512 --shards 2 \
 PYTHONPATH=src python - <<'EOF'
 import json
 from repro.perf.bench import resolve_baseline
-base = json.load(open(resolve_baseline("auto", current_pr=9)))["suite"]["cluster-fattree-512"]
+base = json.load(open(resolve_baseline("auto", current_pr=10)))["suite"]["cluster-fattree-512"]
 got = json.load(open("/tmp/repro_bench_cluster.json"))["suite"]["cluster-fattree-512"]
 for key in ("msg_digest", "messages", "windows", "cluster_events_popped",
             "per_shard_popped", "t_end_us"):
@@ -52,6 +52,34 @@ assert ratio >= 3.0, f"graph replay popped only {ratio:.2f}x fewer host events"
 assert on["events_graphed"] == off["cluster_events_popped"], \
     "graphed pop count must equal the eager pop count exactly"
 print(f"graph-replay smoke: digests identical, {ratio:.1f}x fewer host pops")
+EOF
+
+echo "== fault-smoke (dynamic fabric: mid-run link loss, DESIGN.md §17) =="
+# One node-scoped NVLink loss halfway through the 512-GPU halo exhibit:
+# the faulted run must agree bit-for-bit between the sequential driver
+# and --shards 2, and must differ from the healthy recorded digest (the
+# healthy baseline itself is still gated by the bench-cluster tier above).
+PYTHONPATH=src python -m repro fault examples/schedules/faults_fattree512.jsonl \
+    --workload halo --machine fat-tree-512 \
+    --param iters=4 --param chunks=2 > /tmp/repro_fault_seq.txt
+PYTHONPATH=src python -m repro fault examples/schedules/faults_fattree512.jsonl \
+    --workload halo --machine fat-tree-512 --shards 2 \
+    --param iters=4 --param chunks=2 > /tmp/repro_fault_mp.txt
+PYTHONPATH=src python - <<'EOF'
+import json, re
+from repro.perf.bench import resolve_baseline
+
+def rows(path):
+    text = open(path).read()
+    return re.findall(r"^(?:popped|  class|  digest).*$", text, re.M)
+
+seq, mp = rows("/tmp/repro_fault_seq.txt"), rows("/tmp/repro_fault_mp.txt")
+assert seq and seq == mp, "faulted run: sequential vs --shards 2 diverged"
+msg = re.search(r"digest msg\s+(\S+)", open("/tmp/repro_fault_seq.txt").read()).group(1)
+base = json.load(open(resolve_baseline("auto", current_pr=10)))
+healthy = base["suite"]["cluster-fattree-512"]["msg_digest"]
+assert msg != healthy[:len(msg)], "fault schedule did not perturb the halo digest"
+print(f"fault-smoke: {len(seq)} rows identical across modes, digest differs from healthy")
 EOF
 
 echo "== profile smoke (Chrome trace_event export) =="

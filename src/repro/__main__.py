@@ -17,6 +17,8 @@
         --policies single,multi          # cached (workload x machine x policy) grid
     python -m repro replay sched.jsonl --machine fat-tree-512   # trace replay
     python -m repro replay --gen-llm dp=2,tp=4,pp=2 --out sched.jsonl
+    python -m repro fault faults.jsonl --workload halo \
+        --machine fat-tree-512           # run a workload under link faults
 """
 
 from __future__ import annotations
@@ -57,6 +59,10 @@ def main(argv=None) -> int:
         from repro.workload.cli import main_replay
 
         return main_replay(argv[1:])
+    if argv and argv[0] == "fault":
+        from repro.workload.cli import main_fault
+
+        return main_fault(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate exhibits of the GPU-initiated MPI Partitioned paper.",

@@ -15,7 +15,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.bench.series import Series
-from repro.dataplane.policy import MultiPathPolicy, PathPolicy, SinglePathPolicy
+from repro.dataplane.policy import (
+    CongestionAwarePolicy,
+    MultiPathPolicy,
+    PathPolicy,
+    SinglePathPolicy,
+)
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.params import ONE_NODE
 from repro.hw.topology import Fabric, MachineLike
@@ -30,6 +35,8 @@ def _mk_policy(policy) -> PathPolicy:
         return SinglePathPolicy()
     if policy == "multi":
         return MultiPathPolicy()
+    if policy == "congestion":
+        return CongestionAwarePolicy()
     raise ValueError(f"unknown policy {policy!r}")
 
 
@@ -118,3 +125,156 @@ def stripe_sweep(
         "below min_stripe_bytes the plans coincide"
     )
     return series
+
+
+# --------------------------------------------------------------------------
+# dynamic-fabric exhibits (DESIGN.md §17)
+# --------------------------------------------------------------------------
+
+def _pipelined_chunks(
+    policy,
+    config: MachineLike,
+    chunks: int,
+    chunk_bytes: int,
+    depth: int,
+    faults=None,
+) -> dict:
+    """Run ``chunks`` plan-cached D2D puts with ``depth`` in flight.
+
+    One buffer pair is reused for every chunk, so after the first submit
+    the plan cache replays the stripe plan; a mid-run fault exercises
+    both recovery tiers (queued-stripe re-route and plan re-bind).
+    """
+    from repro.dataplane.graph import GRAPHS
+    from repro.dataplane.plane import FabricFault
+    from repro.hw.faults import fault_schedule
+
+    with fault_schedule(faults):
+        engine = Engine()
+        fabric = Fabric(engine, config)
+    dp = fabric.dataplane.enable_plan_cache()
+    dp.policy = _mk_policy(policy)
+    topo = fabric.topo
+    n = max(chunk_bytes // 8, 1)
+    src = Buffer.alloc_virtual(n, space=MemSpace.DEVICE, node=topo.node_of(0), gpu=0)
+    dst = Buffer.alloc_virtual(n, space=MemSpace.DEVICE, node=topo.node_of(1), gpu=1)
+    replanned0 = GRAPHS.replanned
+    out = {"faulted_chunks": 0}
+
+    def proc():
+        t0 = engine.now
+        in_flight = []
+        for _ in range(chunks):
+            in_flight.append(
+                dp.put(src, dst, traffic_class="bench", name="chunk")
+            )
+            if len(in_flight) >= depth:
+                if isinstance((yield in_flight.pop(0)), FabricFault):
+                    out["faulted_chunks"] += 1
+        for ev in in_flight:
+            if isinstance((yield ev), FabricFault):
+                out["faulted_chunks"] += 1
+        out["elapsed"] = engine.now - t0
+
+    done = engine.process(proc(), name="chunk_bench")
+    engine.run()
+    if not done.ok:  # pragma: no cover - surfacing simulation bugs
+        raise RuntimeError(f"chunked bench failed: {done.value!r}")
+    return {
+        "elapsed_s": out["elapsed"],
+        "faulted_chunks": out["faulted_chunks"],
+        "reroutes": dp.reroutes,
+        "faults": dp.faults,
+        "replanned": GRAPHS.replanned - replanned0,
+        "plan_hits": dp.plan_cache.hits,
+    }
+
+
+def measure_fault_reroute(
+    total_bytes: int = 512 * MiB,
+    chunks: int = 32,
+    depth: int = 4,
+    config: MachineLike = ONE_NODE,
+) -> dict:
+    """Down the primary NVLink mid-run under a plan-cached chunk pipeline.
+
+    Three timings of the same 512 MiB chunked D2D stream on the GH200
+    mesh: healthy multipath (lower bound), multipath losing ``nvl0->1``
+    halfway through (the exhibit), and healthy single-path (the
+    no-multipath upper bound).  The faulted run recovers on both tiers —
+    queued stripes re-route around the dead link and the epoch-stale
+    cached plan re-binds — and every chunk still completes.
+    """
+    from repro.hw.faults import FaultEvent, FaultSchedule
+
+    chunk_bytes = total_bytes // chunks
+    healthy = _pipelined_chunks("multi", config, chunks, chunk_bytes, depth)
+    sched = FaultSchedule(
+        [FaultEvent(healthy["elapsed_s"] / 2, "nvl0->1", "down")]
+    )
+    faulted = _pipelined_chunks(
+        "multi", config, chunks, chunk_bytes, depth, faults=sched
+    )
+    single = _pipelined_chunks("single", config, chunks, chunk_bytes, depth)
+    return {
+        "nbytes": chunk_bytes * chunks,
+        "chunks": chunks,
+        "depth": depth,
+        "healthy_s": healthy["elapsed_s"],
+        "faulted_s": faulted["elapsed_s"],
+        "single_s": single["elapsed_s"],
+        "reroutes": faulted["reroutes"],
+        "faults": faulted["faults"],
+        "replanned": faulted["replanned"],
+        "faulted_chunks": faulted["faulted_chunks"],
+        "plan_hits": faulted["plan_hits"],
+    }
+
+
+def measure_congestion_goodput(
+    policy="congestion",
+    n_transfers: int = 8,
+    nbytes: int = 16 * MiB,
+    config: MachineLike = ONE_NODE,
+) -> dict:
+    """``n_transfers`` concurrent same-pair D2D puts under one policy.
+
+    Under ``SinglePathPolicy`` they all serialize on the direct NVLink
+    port; ``CongestionAwarePolicy`` reads the outstanding-bytes signal at
+    submit and spreads them over the link-disjoint candidates.
+    """
+    engine = Engine()
+    fabric = Fabric(engine, config)
+    fabric.dataplane.policy = _mk_policy(policy)
+    topo = fabric.topo
+    n = max(nbytes // 8, 1)
+    pairs = [
+        (
+            Buffer.alloc_virtual(n, space=MemSpace.DEVICE, node=topo.node_of(0), gpu=0),
+            Buffer.alloc_virtual(n, space=MemSpace.DEVICE, node=topo.node_of(1), gpu=1),
+        )
+        for _ in range(n_transfers)
+    ]
+    out = {}
+
+    def proc():
+        t0 = engine.now
+        events = [
+            fabric.dataplane.put(s, d, traffic_class="bench", name=f"x{i}")
+            for i, (s, d) in enumerate(pairs)
+        ]
+        for ev in events:
+            yield ev
+        out["elapsed"] = engine.now - t0
+
+    done = engine.process(proc(), name="congestion_bench")
+    engine.run()
+    if not done.ok:  # pragma: no cover - surfacing simulation bugs
+        raise RuntimeError(f"congestion bench failed: {done.value!r}")
+    total = n_transfers * pairs[0][0].nbytes
+    return {
+        "nbytes": total,
+        "n_transfers": n_transfers,
+        "elapsed_s": out["elapsed"],
+        "goodput_Bps": total / out["elapsed"],
+    }

@@ -69,7 +69,7 @@ def graphs_enabled() -> bool:
 class GraphCounters:
     """Process-wide capture/replay counters (reset per bench entry)."""
 
-    __slots__ = ("launches", "captured_plans", "replayed_descriptors")
+    __slots__ = ("launches", "captured_plans", "replayed_descriptors", "replanned")
 
     def __init__(self) -> None:
         self.reset()
@@ -81,12 +81,16 @@ class GraphCounters:
         self.captured_plans = 0
         #: Plan-cache hits: descriptors replayed from a pre-priced plan.
         self.replayed_descriptors = 0
+        #: Epoch-stale plans cheaply re-bound (re-routed dead legs only,
+        #: no re-validate / re-price) after a fabric mutation.
+        self.replanned = 0
 
     def snapshot(self) -> dict:
         return {
             "launches": self.launches,
             "captured_plans": self.captured_plans,
             "replayed_descriptors": self.replayed_descriptors,
+            "replanned": self.replanned,
         }
 
 
@@ -138,12 +142,23 @@ class PlanCache:
     Captured plans pin their endpoint buffers: replaying a plan whose
     buffer has been freed since capture raises :class:`GraphError` (the
     hazard the ``graph-capture-mutation`` analyzer rule flags statically).
+
+    Plans are **epoch-stamped** (DESIGN.md §17): a plan captured under
+    fabric epoch E replays unchecked while the epoch still reads E.  After
+    a link mutation bumps the epoch, the next lookup *re-binds* the plan
+    ``cudaGraphExecUpdate``-style: stripes whose routes are fully up keep
+    their routes and prices untouched; stripes crossing a downed link are
+    re-routed through the (epoch-fresh) fabric route — no re-validation
+    and no re-pricing of unchanged legs.  Bandwidth degradation never
+    invalidates a leg because stripes price bandwidth at port-grant time.
+    A plan whose dead leg has no surviving route is dropped (full re-plan
+    on this submission; the guarded executor may still fault it).
     """
 
     __slots__ = ("_plans", "hits", "misses")
 
     def __init__(self) -> None:
-        self._plans: Dict[Tuple, Tuple[Any, tuple]] = {}
+        self._plans: Dict[Tuple, Tuple[Any, tuple, int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -154,27 +169,73 @@ class PlanCache:
             desc.payload, desc.traffic_class,
         )
 
-    def lookup(self, desc) -> Optional[tuple]:
-        """Cached stripes for ``desc``, or None on miss (then validate)."""
-        entry = self._plans.get(self._key(desc))
+    def lookup(self, desc, fabric=None) -> Optional[tuple]:
+        """Cached stripes for ``desc``, or None on miss (then validate).
+
+        ``fabric`` enables the epoch check; without it (legacy callers)
+        plans replay as captured — correct on a never-mutated fabric.
+        """
+        key = self._key(desc)
+        entry = self._plans.get(key)
         if entry is None:
             return None
-        wire_bytes, stripes = entry
+        wire_bytes, stripes, epoch = entry
         for buf in (desc.src, desc.dst):
             if getattr(buf, "freed", False):
                 raise GraphError(
                     f"{desc.name}: captured plan references freed buffer "
                     f"{buf.label!r} — re-capture after freeing endpoints"
                 )
+        if fabric is not None and epoch != fabric.link_state.epoch:
+            stripes = self._rebind(key, desc, stripes, fabric)
+            if stripes is None:
+                return None
         desc.wire_bytes = wire_bytes
         self.hits += 1
         GRAPHS.replayed_descriptors += 1
         return stripes
 
-    def store(self, desc, stripes: tuple) -> None:
-        self._plans[self._key(desc)] = (desc.wire_bytes, stripes)
+    def _rebind(self, key, desc, stripes, fabric) -> Optional[tuple]:
+        """Re-route dead legs of an epoch-stale plan; None drops the plan."""
+        from repro.hw.topology import RouteError
+
+        rebound = []
+        moved = 0
+        for stripe in stripes:
+            if all(link.up for link in stripe.route):
+                rebound.append(stripe)
+                continue
+            try:
+                fresh = fabric.route(desc.src, desc.dst)
+            except RouteError:
+                del self._plans[key]
+                return None
+            rebound.append(type(stripe)(fresh, stripe.nbytes, stripe.on_wire_done))
+            moved += 1
+        stripes = tuple(rebound)
+        self._plans[key] = (self._plans[key][0], stripes, fabric.link_state.epoch)
+        GRAPHS.replanned += 1
+        obs = fabric.engine.obs
+        if obs is not None:
+            obs.instant(
+                "plan", "rebind", t=fabric.engine.now, xfer=desc.name,
+                epoch=fabric.link_state.epoch, legs_moved=moved,
+                legs_kept=len(stripes) - moved,
+            )
+        return stripes
+
+    def store(self, desc, stripes: tuple, fabric=None) -> None:
+        epoch = fabric.link_state.epoch if fabric is not None else 0
+        self._plans[self._key(desc)] = (desc.wire_bytes, tuple(stripes), epoch)
         self.misses += 1
         GRAPHS.captured_plans += 1
+        if fabric is not None:
+            obs = fabric.engine.obs
+            if obs is not None:
+                obs.instant(
+                    "plan", "build", t=fabric.engine.now, xfer=desc.name,
+                    epoch=epoch, stripes=len(stripes),
+                )
 
 
 # --------------------------------------------------------------------------

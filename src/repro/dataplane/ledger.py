@@ -53,6 +53,23 @@ class Ledger:
                 + stripe.nbytes / bottleneck
             )
 
+    # -- congestion signal -------------------------------------------------
+    # Outstanding-bytes per link: charged at stripe launch, discharged at
+    # stripe completion (or abort), both inside existing event pops — no
+    # heap traffic, pure arithmetic, so the signal is deterministic and
+    # free on unobserved runs.  CongestionAwarePolicy reads it at submit
+    # time to score candidate routes (DESIGN.md §17).
+
+    @staticmethod
+    def charge_links(route, nbytes: int) -> None:
+        for link in route:
+            link.outstanding_bytes += nbytes
+
+    @staticmethod
+    def discharge_links(route, nbytes: int) -> None:
+        for link in route:
+            link.outstanding_bytes -= nbytes
+
     def __getitem__(self, traffic_class: str) -> ClassUsage:
         return self.classes.get(traffic_class, ClassUsage())
 

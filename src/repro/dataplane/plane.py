@@ -24,13 +24,37 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from repro.dataplane.descriptor import TransferDescriptor
 from repro.dataplane.ledger import Ledger
 from repro.dataplane.policy import PathPolicy, policy_from_env
-from repro.hw.links import start_transfer
+from repro.hw.links import LinkDownError, start_transfer
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.spec.graph import Port, RouteSearchError
 from repro.sim.events import AllOf, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.topology import Fabric
+
+
+class FabricFault:
+    """Typed completion value of a transfer that lost every route.
+
+    The guarded executor never *fails* the submission event (a failure
+    would tear down every waiter of an ``AllOf``); instead the event
+    succeeds with a FabricFault so callers can inspect what died.  It is
+    falsy, so ``if not result`` reads naturally at wait sites.
+    """
+
+    __slots__ = ("name", "link", "t", "reason")
+
+    def __init__(self, name: str, link: str, t: float, reason: str) -> None:
+        self.name = name      # descriptor / stripe name
+        self.link = link      # the downed link that severed the last route
+        self.t = t            # simulated time the fault was declared
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"<FabricFault {self.name} @{self.t:.6g}s: {self.reason}>"
 
 
 class Dataplane:
@@ -46,8 +70,14 @@ class Dataplane:
         )
         #: (src-port, dst-port, max_paths) -> link-disjoint route tuple.
         self._multi_route_cache: Dict[Tuple[Port, Port, int], Tuple] = {}
+        #: Fabric epoch the multi-route cache was filled under.
+        self._multi_route_epoch = 0
         #: Descriptors submitted (asserted by tests; stripes live in the ledger).
         self.submissions = 0
+        #: Stripes re-routed around a downed link by the guarded executor.
+        self.reroutes = 0
+        #: Stripes that lost every route (completed as FabricFault).
+        self.faults = 0
         #: Optional :class:`repro.dataplane.graph.PlanCache`: when set,
         #: repeated submissions of an identical descriptor shape replay a
         #: pre-priced stripe plan instead of re-validating, re-routing,
@@ -142,7 +172,7 @@ class Dataplane:
             self.submissions += 1
             return bridge.submit(desc)
         cache = self.plan_cache
-        stripes = cache.lookup(desc) if cache is not None else None
+        stripes = cache.lookup(desc, self.fabric) if cache is not None else None
         if stripes is None:
             desc.validate()
         self.submissions += 1
@@ -152,12 +182,36 @@ class Dataplane:
     def _execute(self, desc: TransferDescriptor, stripes: Optional[tuple] = None) -> Event:
         if stripes is None:
             cache = self.plan_cache
-            stripes = cache.lookup(desc) if cache is not None else None
+            stripes = cache.lookup(desc, self.fabric) if cache is not None else None
         if stripes is None:
-            primary = self.fabric.route(desc.src, desc.dst)
+            from repro.hw.topology import RouteError
+
+            try:
+                primary = self.fabric.route(desc.src, desc.dst)
+            except RouteError:
+                if not self.fabric.link_state.armed:
+                    raise
+                # Faults severed every path before this submit: declare
+                # the same typed completion the guarded executor uses.
+                # With one fault injected the scan names the culprit; with
+                # several it names the first in deterministic link order.
+                state = self.fabric.link_state
+                downed = next(
+                    (l.name for l in state._by_name.values() if not l.up), "",
+                )
+                self.faults += 1
+                obs = self.engine.obs
+                if obs is not None:
+                    obs.instant(
+                        "fabric", "fault", t=self.engine.now,
+                        xfer=desc.name, link=downed, nbytes=desc.wire_bytes,
+                    )
+                fault = FabricFault(desc.name, downed, self.engine.now,
+                                    "no route at submit")
+                return Event(self.engine).succeed(fault)
             stripes = self.policy.plan(self, desc, primary)
             if self.plan_cache is not None:
-                self.plan_cache.store(desc, stripes)
+                self.plan_cache.store(desc, stripes, self.fabric)
         self.ledger.account(desc, stripes)
         obs = self.engine.obs
         if obs is not None:
@@ -170,20 +224,89 @@ class Dataplane:
                 src_gpu=desc.src.gpu, src_node=desc.src.node,
                 dst_gpu=desc.dst.gpu, dst_node=desc.dst.node,
             )
+        if self.fabric.link_state.armed:
+            # A mutable-fabric run: every stripe gets the guarded,
+            # re-route-capable executor.  Armed only by a fault schedule
+            # or an explicit LinkState mutation, so the default path
+            # below stays byte-identical to the pre-LinkState dataplane.
+            if len(stripes) == 1:
+                return self._guarded(desc, stripes[0], desc.name)
+            parts = [
+                self._guarded(desc, stripe, f"{desc.name}.s{i}")
+                for i, stripe in enumerate(stripes)
+            ]
+            return AllOf(self.engine, parts)
+        # Congestion signal: charge synchronously at submit — so every
+        # submission planned later in the same event cascade sees this
+        # load — and let the transfer process discharge in its finally
+        # (completion, abort, and kill all balance the counter).
+        ledger = self.ledger
         if len(stripes) == 1:
             stripe = stripes[0]
+            ledger.charge_links(stripe.route, stripe.nbytes)
             return start_transfer(
                 self.engine, stripe.route, stripe.nbytes,
                 on_wire_done=stripe.on_wire_done, name=desc.name,
+                ledger=ledger,
             )
-        parts = [
-            start_transfer(
+        parts = []
+        for i, stripe in enumerate(stripes):
+            ledger.charge_links(stripe.route, stripe.nbytes)
+            parts.append(start_transfer(
                 self.engine, stripe.route, stripe.nbytes,
                 on_wire_done=stripe.on_wire_done, name=f"{desc.name}.s{i}",
-            )
-            for i, stripe in enumerate(stripes)
-        ]
+                ledger=ledger,
+            ))
         return AllOf(self.engine, parts)
+
+    def _guarded(self, desc: TransferDescriptor, stripe, name: str) -> Event:
+        """Spawn one stripe with down-link retry (armed fabrics only).
+
+        The wrapper catches :class:`LinkDownError` from the transfer
+        process (a fault landed before the stripe fully acquired its
+        route), resolves a surviving route through the epoch-fresh route
+        cache, and retries.  When no route survives, the wrapper
+        *succeeds* with a :class:`FabricFault` — a typed completion the
+        caller can test — so sibling stripes and ``AllOf`` waiters are
+        not torn down.
+        """
+        from repro.hw.topology import RouteError
+
+        engine = self.engine
+        ledger = self.ledger
+
+        def run():
+            route, nbytes, cb = stripe.route, stripe.nbytes, stripe.on_wire_done
+            while True:
+                blocked = next((ln for ln in route if not ln.up), None)
+                if blocked is None:
+                    # Charged per attempt; the transfer process discharges
+                    # on completion *and* on a LinkDownError abort.
+                    ledger.charge_links(route, nbytes)
+                    try:
+                        return (yield start_transfer(
+                            engine, route, nbytes, cb, name=name,
+                            ledger=ledger,
+                        ))
+                    except LinkDownError as exc:
+                        blocked = exc.link
+                try:
+                    route = self.fabric.route(desc.src, desc.dst)
+                except RouteError:
+                    self.faults += 1
+                    obs = engine.obs
+                    if obs is not None:
+                        obs.instant(
+                            "fabric", "fault", t=engine.now, xfer=name,
+                            link=blocked.name, nbytes=nbytes,
+                        )
+                    return FabricFault(
+                        name, blocked.name, engine.now,
+                        f"no surviving route after {blocked.name} went down",
+                    )
+                self.reroutes += 1
+
+        return engine.process(run(), name=f"{name}.guard")
 
     def _rides_copy_engine(self, desc: TransferDescriptor) -> bool:
         src, dst = desc.src, desc.dst
@@ -228,6 +351,10 @@ class Dataplane:
         per (src-port, dst-port, max_paths); fully deterministic (the
         underlying search breaks ties by adjacency insertion order).
         """
+        epoch = self.fabric.link_state.epoch
+        if epoch != self._multi_route_epoch:
+            self._multi_route_cache.clear()
+            self._multi_route_epoch = epoch
         sport = self.fabric._endpoint(src)
         dport = self.fabric._endpoint(dst)
         cache_key = (sport, dport, max_paths)

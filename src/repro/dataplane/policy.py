@@ -134,6 +134,56 @@ class MultiPathPolicy(PathPolicy):
         return stripes
 
 
+class CongestionAwarePolicy(PathPolicy):
+    """Pick the least-loaded of the link-disjoint candidate routes.
+
+    Scores each candidate by its estimated completion: the worst per-link
+    drain time ``(outstanding_bytes + wire_bytes) / bandwidth`` plus the
+    route's fixed costs (max overhead + total latency).  The congestion
+    signal is the dataplane-maintained outstanding-bytes counter — pure
+    simulated state sampled at submit time — and ties break by candidate
+    order (primary first), so the choice is fully deterministic.
+    Successive submissions between one endpoint pair spread across the
+    candidate routes because each pick raises its own route's load.
+
+    Unlike :class:`MultiPathPolicy` the transfer is not split: one stripe
+    rides the winning route, so small transfers also benefit and payload
+    geometry is untouched.
+    """
+
+    name = "congestion"
+
+    def __init__(self, max_candidates: int = 4) -> None:
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.max_candidates = max_candidates
+
+    def plan(self, dp, desc, primary) -> List[Stripe]:
+        routes = dp.disjoint_routes(desc.src, desc.dst, self.max_candidates)
+        best = None
+        best_cost = math.inf
+        for route in routes:
+            if any(not link.up for link in route):
+                continue
+            drain = max(
+                (link.outstanding_bytes + desc.wire_bytes) / link.bandwidth
+                for link in route
+            )
+            cost = (
+                drain
+                + max(link.overhead for link in route)
+                + sum(link.latency for link in route)
+            )
+            if cost < best_cost:  # strict: earlier candidate wins ties
+                best = route
+                best_cost = cost
+        if best is None:
+            # Every candidate crosses a downed link; hand back the primary
+            # and let the guarded execution path re-route or fault it.
+            best = primary
+        return [Stripe(best, desc.wire_bytes, _whole_payload_cb(desc))]
+
+
 def _largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
     """Split ``total`` integer units proportionally to ``weights``.
 
@@ -154,6 +204,9 @@ def policy_from_env(value: Optional[str]) -> PathPolicy:
         return SinglePathPolicy()
     if value == "multi":
         return MultiPathPolicy()
+    if value == "congestion":
+        return CongestionAwarePolicy()
     raise ValueError(
-        f"REPRO_PATH_POLICY={value!r} is not a known policy (single|multi)"
+        f"REPRO_PATH_POLICY={value!r} is not a known policy "
+        "(single|multi|congestion)"
     )

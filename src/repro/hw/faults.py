@@ -1,0 +1,234 @@
+"""Fault schedules: scripted link mutations on a simulated timeline.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`s —
+JSONL lines of the shape ``{"t": 2.5e-3, "link": "nvl0->1", "action":
+"down"}`` with optional ``factor`` (degrade) and ``node`` (shard scope)
+fields — that any :class:`~repro.workload.base.Workload` run can plug in
+(``run(..., faults=...)``) and ``python -m repro fault`` drives from the
+command line.
+
+Installation is ambient, mirroring the path-policy axis: the schedule is
+made active around a run (:func:`fault_schedule`), and every
+:class:`~repro.hw.topology.Fabric` built while it is active installs the
+matching events on its engine as ordinary ``timeout_at`` heap entries
+whose callbacks call the :class:`~repro.hw.links.LinkState` mutation API.
+Because installation happens at fabric construction (before any workload
+process is spawned) and fires in simulated time, sequential and sharded
+drivers observe the identical fabric history — the multiprocessing
+executor's forked workers inherit the ambient schedule and re-install it
+per shard.
+
+Shard scoping: ``node`` restricts an event to one engine shard (shard
+fabrics name links with node-local indices, so ``swup0`` exists on every
+shard; ``node`` picks which one fails).  Events without ``node`` apply to
+every fabric that sees them.  Cross-shard wire segments are priced
+analytically by the shard bridge and have no mutable links; faults apply
+to the links a fabric actually owns.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.topology import Fabric
+
+
+class FaultError(Exception):
+    """A malformed fault schedule or an unknown link/action."""
+
+
+ACTIONS = ("down", "restore", "degrade")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted mutation: at time ``t``, apply ``action`` to ``link``."""
+
+    t: float
+    link: str
+    action: str                     # "down" | "restore" | "degrade"
+    factor: Optional[float] = None  # degrade only: (0, 1] of healthy bw
+    node: Optional[int] = None      # shard scope; None = every fabric
+
+    def validate(self, where: str = "fault event") -> None:
+        if not isinstance(self.t, (int, float)) or self.t < 0:
+            raise FaultError(f"{where}: t must be a non-negative number, got {self.t!r}")
+        if not self.link or not isinstance(self.link, str):
+            raise FaultError(f"{where}: link must be a non-empty link name")
+        if self.action not in ACTIONS:
+            raise FaultError(
+                f"{where}: unknown action {self.action!r} "
+                f"(known: {', '.join(ACTIONS)})"
+            )
+        if self.action == "degrade":
+            if not isinstance(self.factor, (int, float)) or not 0.0 < self.factor <= 1.0:
+                raise FaultError(
+                    f"{where}: degrade needs factor in (0, 1], got {self.factor!r}"
+                )
+        elif self.factor is not None:
+            raise FaultError(f"{where}: factor only applies to degrade")
+        if self.node is not None and (not isinstance(self.node, int) or self.node < 0):
+            raise FaultError(f"{where}: node must be a non-negative integer")
+
+    def as_dict(self) -> dict:
+        doc = {"t": self.t, "link": self.link, "action": self.action}
+        if self.factor is not None:
+            doc["factor"] = self.factor
+        if self.node is not None:
+            doc["node"] = self.node
+        return doc
+
+
+class FaultSchedule:
+    """A validated, ordered list of fault events (install order = input order)."""
+
+    def __init__(self, events: Sequence[FaultEvent], source: str = "<faults>") -> None:
+        self.events = tuple(events)
+        self.source = source
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.events:
+            raise FaultError(f"{self.source}: empty fault schedule")
+        for i, ev in enumerate(self.events):
+            ev.validate(f"{self.source}: event {i}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @classmethod
+    def parse_jsonl(cls, text: str, source: str = "<faults>") -> "FaultSchedule":
+        events: List[FaultEvent] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise FaultError(f"{source}:{lineno}: invalid JSON: {exc}") from None
+            if not isinstance(doc, dict):
+                raise FaultError(f"{source}:{lineno}: expected a JSON object")
+            unknown = set(doc) - {"t", "link", "action", "factor", "node"}
+            if unknown:
+                raise FaultError(
+                    f"{source}:{lineno}: unknown field(s) {sorted(unknown)}"
+                )
+            ev = FaultEvent(
+                t=doc.get("t"), link=doc.get("link"), action=doc.get("action"),
+                factor=doc.get("factor"), node=doc.get("node"),
+            )
+            ev.validate(f"{source}:{lineno}")
+            events.append(ev)
+        return cls(events, source=source)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path) as fh:
+            return cls.parse_jsonl(fh.read(), source=path)
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(ev.as_dict(), sort_keys=True) + "\n" for ev in self.events
+        )
+
+    def for_shard(self, shard_id: Optional[int]) -> List[FaultEvent]:
+        """Events a fabric on engine shard ``shard_id`` must install.
+
+        ``shard_id=None`` (an unsharded fabric) owns the whole machine and
+        installs everything; a shard installs unscoped events plus the
+        ones naming its node.
+        """
+        if shard_id is None:
+            return list(self.events)
+        return [ev for ev in self.events if ev.node is None or ev.node == shard_id]
+
+
+# --------------------------------------------------------------------------
+# ambient installation (mirrors the REPRO_PATH_POLICY axis)
+# --------------------------------------------------------------------------
+
+_AMBIENT: Optional[FaultSchedule] = None
+
+
+def active() -> Optional[FaultSchedule]:
+    """The schedule new fabrics install, or None."""
+    return _AMBIENT
+
+
+def install(sched: FaultSchedule) -> None:
+    global _AMBIENT
+    _AMBIENT = sched
+
+
+def uninstall() -> None:
+    global _AMBIENT
+    _AMBIENT = None
+
+
+@contextmanager
+def fault_schedule(sched: Union[FaultSchedule, str, None]):
+    """Make ``sched`` ambient for the duration of one run.
+
+    Accepts a :class:`FaultSchedule`, a JSONL path, or None (no-op, so
+    callers can thread an optional ``faults=`` argument straight through).
+    Nested installs restore the outer schedule on exit.
+    """
+    if sched is None:
+        yield None
+        return
+    if isinstance(sched, str):
+        sched = FaultSchedule.load(sched)
+    prev = _AMBIENT
+    install(sched)
+    try:
+        yield sched
+    finally:
+        if prev is None:
+            uninstall()
+        else:
+            install(prev)
+
+
+def install_on_fabric(fabric: "Fabric", sched: FaultSchedule) -> list:
+    """Install ``sched``'s events for this fabric; returns the heap events.
+
+    Events at or before the engine's current time apply immediately (a
+    fabric rebuilt mid-run — e.g. a shard entering graph mode — must see
+    the fabric state its predecessor reached); future events become
+    ``timeout_at`` entries whose pop applies the mutation.  The returned
+    list lets the owner cancel pending events when it rebuilds the fabric.
+    """
+    engine = fabric.engine
+    state = fabric.link_state
+    mine = sched.for_shard(fabric.fault_scope)
+    installed = []
+    if mine:
+        # Guarded execution from t=0: the run's event shape must not
+        # change when the first fault fires mid-run.
+        state.arm()
+    for ev in mine:
+        state.find(ev.link)  # unknown names fail at install, not mid-run
+        if ev.t <= engine.now:
+            _apply(state, ev)
+            continue
+        timer = engine.timeout_at(ev.t)
+        timer.add_callback(lambda _t, fe=ev, st=state: _apply(st, fe))
+        installed.append(timer)
+    return installed
+
+
+def _apply(state, ev: FaultEvent) -> None:
+    if ev.action == "down":
+        state.down_link(ev.link)
+    elif ev.action == "restore":
+        state.restore_link(ev.link)
+    else:
+        state.degrade_bandwidth(ev.link, ev.factor)

@@ -235,6 +235,10 @@ class LinkGraph:
         ``exclude`` is a collection of links the path may not acquire —
         the dataplane's multi-path discovery peels link-disjoint routes
         by re-searching with every previously claimed link excluded.
+
+        Downed links (``link.up`` False, see
+        :class:`~repro.hw.links.LinkState`) are never traversed; on a
+        healthy fabric every link is up and the search is unchanged.
         """
         if src == dst:
             route = self.self_routes.get(src)
@@ -255,6 +259,8 @@ class LinkGraph:
                 if nxt in settled:
                     continue
                 if exclude and any(link in exclude for link in links):
+                    continue
+                if any(not link.up for link in links):
                     continue
                 seq += 1
                 heapq.heappush(heap, (cost + len(links), seq, nxt, route + links))

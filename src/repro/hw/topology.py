@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Tuple, Union
 
 from repro.dataplane.plane import Dataplane
-from repro.hw.links import Link
+from repro.hw import faults as hw_faults
+from repro.hw.links import Link, LinkState
 from repro.hw.memory import Buffer, MemSpace
 from repro.hw.params import TestbedConfig
 from repro.hw.spec.catalog import as_spec
@@ -106,17 +107,37 @@ class Fabric:
     #: workload builds internally; None = no persistence.
     route_store = None
 
-    def __init__(self, engine: Engine, config: MachineLike) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineLike,
+        fault_scope: "int | None" = None,
+    ) -> None:
         self.engine = engine
         self.config = config
+        #: Node id this fabric simulates when it is a shard-local cut
+        #: (scopes node-targeted fault events); None = whole machine.
+        #: Falls back to ``engine.shard_id`` so multiprocess shards are
+        #: scoped even through legacy construction paths.
+        self.fault_scope = (
+            fault_scope if fault_scope is not None
+            else getattr(engine, "shard_id", None)
+        )
         self.spec = as_spec(config)
         self.topo = Topology(config)
         self.graph = LinkGraph(engine, self.spec)
+        #: The one mutation surface for link health (DESIGN.md §17);
+        #: every mutation bumps its epoch and invalidates route caches.
+        self.link_state = LinkState(engine, self.graph.links)
         #: (src-port, dst-port) -> resolved link tuple; hit on every
         #: transfer after the first between a location pair.
         self._route_cache: Dict[Tuple[Port, Port], Tuple[Link, ...]] = {}
+        #: Fabric epoch the route cache was filled under.
+        self._route_epoch = 0
         #: Number of cache-miss route computations (asserted by tests).
         self.route_computations = 0
+        #: Pending fault-schedule heap events (cancelled on rebuild).
+        self.fault_events: List[Event] = []
 
         # Structured link registries (views into the graph's registries;
         # keyed and named exactly like the original hard-coded testbed).
@@ -149,6 +170,10 @@ class Fabric:
         #: (single route vs link-disjoint striping) is the dataplane
         #: policy's call — see repro.dataplane and DESIGN.md §12.
         self.dataplane = Dataplane(self)
+
+        sched = hw_faults.active()
+        if sched is not None:
+            self.fault_events = hw_faults.install_on_fabric(self, sched)
 
         if Fabric.route_store is not None:
             Fabric.route_store.preload(self)
@@ -189,7 +214,16 @@ class Fabric:
         the source/destination location (GPUDirect-RDMA-style per-GPU NICs
         move device memory without host staging; a shared node NIC funnels
         everything through the host bridge).
+
+        Routes are valid for one fabric epoch: a link mutation bumps
+        :attr:`LinkState.epoch` and the next resolution drops the whole
+        cache, so downed links never leak out of a stale entry.  On a
+        healthy fabric the epoch never moves and this is one int compare.
         """
+        epoch = self.link_state.epoch
+        if epoch != self._route_epoch:
+            self._route_cache.clear()
+            self._route_epoch = epoch
         key = (self._endpoint(src), self._endpoint(dst))
         cached = self._route_cache.get(key)
         if cached is None:
@@ -199,7 +233,9 @@ class Fabric:
             except RouteSearchError as exc:
                 raise RouteError(str(exc)) from exc
             self._route_cache[key] = cached
-            if Fabric.route_store is not None:
+            if Fabric.route_store is not None and not self.link_state.armed:
+                # Routes found under mutated fabric state are epoch-local;
+                # only healthy-fabric routes are worth persisting.
                 Fabric.route_store.record(self, key, cached)
         return cached
 

@@ -160,6 +160,46 @@ def _graph_replay_llm16() -> dict:
     )
 
 
+def _fault_reroute() -> dict:
+    """Mid-run NVLink loss under a plan-cached 512 MiB chunk pipeline.
+
+    Records the dynamic-fabric acceptance bounds (DESIGN.md §17): the
+    faulted run lands strictly between the healthy multipath and
+    single-path timings, recovers via both tiers (stripe re-routes and
+    a plan re-bind), and no chunk is lost to a FabricFault.
+    """
+    from repro.dataplane.bench import measure_fault_reroute
+
+    r = measure_fault_reroute()
+    assert r["healthy_s"] < r["faulted_s"] < r["single_s"], r
+    assert r["reroutes"] > 0 and r["replanned"] > 0, r
+    assert r["faults"] == 0 and r["faulted_chunks"] == 0, r
+    return {
+        "healthy_us": round(r["healthy_s"] * 1e6, 3),
+        "faulted_us": round(r["faulted_s"] * 1e6, 3),
+        "single_us": round(r["single_s"] * 1e6, 3),
+        "reroutes": r["reroutes"],
+        "plan_hits": r["plan_hits"],
+    }
+
+
+def _congestion_vs_single() -> dict:
+    """Eight concurrent same-pair 16 MiB puts: congestion-aware routing
+    spreads them over the disjoint candidates and must beat the
+    serialized single-path baseline by at least 2x (asserted)."""
+    from repro.dataplane.bench import measure_congestion_goodput
+
+    single = measure_congestion_goodput("single")
+    cong = measure_congestion_goodput("congestion")
+    speedup = single["elapsed_s"] / cong["elapsed_s"]
+    assert speedup >= 2.0, (single, cong)
+    return {
+        "single_GBps": round(single["goodput_Bps"] / 1e9, 2),
+        "congestion_GBps": round(cong["goodput_Bps"] / 1e9, 2),
+        "congestion_speedup": round(speedup, 3),
+    }
+
+
 SUITE = {
     "pingpong": _pingpong,
     "fig4-decimated": _fig4_decimated,
@@ -170,6 +210,8 @@ SUITE = {
     "cluster-fattree-512": _cluster_fattree_512,
     "graph-replay-jacobi": _graph_replay_jacobi,
     "graph-replay-llm16": _graph_replay_llm16,
+    "fault-reroute-512MiB": _fault_reroute,
+    "congestion-vs-single": _congestion_vs_single,
 }
 
 
@@ -197,6 +239,8 @@ def run_suite(names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
             snap.pop("events_graphed", None)
         row = {"wall_s": round(wall, 3), **snap,
                "graph_launches": GRAPHS.launches}
+        if GRAPHS.replanned:
+            row["events_replanned"] = GRAPHS.replanned
         if isinstance(extra, dict):
             row.update(extra)
         results[name] = row
@@ -264,7 +308,7 @@ def main(argv=None) -> int:
         prog="python -m repro bench",
         description="Run the pinned simulator benchmark suite (DESIGN.md §11).",
     )
-    parser.add_argument("--pr", type=int, default=9, help="PR number for the output filename")
+    parser.add_argument("--pr", type=int, default=10, help="PR number for the output filename")
     parser.add_argument("--out", help="output JSON path (default BENCH_pr<N>.json)")
     parser.add_argument("--suite", help="comma-separated subset of suite entries")
     parser.add_argument(

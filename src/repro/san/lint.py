@@ -3,7 +3,7 @@
 Complements the dynamic sanitizer; runs standalone as
 ``python scripts/lint_repro.py`` and inside ``scripts/ci.sh``.
 
-These eight checks are also registered — unchanged ids, unchanged
+These nine checks are also registered — unchanged ids, unchanged
 findings — as the *invariant* family of the whole-program analyzer
 (``python -m repro analyze``, DESIGN.md §13); this module remains the
 implementation and the standalone shim.
@@ -57,6 +57,15 @@ Checks (ids listed by ``python -m repro san --list-checks``):
     drivers go through ``repro.workload.runner.run_ranks`` or a
     registered :class:`~repro.workload.base.Workload`, so machine
     resolution, path policy, and digest accounting stay uniform.
+``fabric-mutation-bypass``
+    Link health is mutated only through the
+    :class:`~repro.hw.links.LinkState` API (DESIGN.md §17).  Outside
+    ``repro/hw``, no module may write a link's ``up`` / ``bandwidth`` /
+    ``base_bandwidth`` / ``outstanding_bytes`` fields or a LinkState's
+    ``epoch`` / ``armed`` directly — a silent write skips the epoch bump
+    that invalidates route caches and re-binds captured plans.  The one
+    carve-out: the dataplane ledger maintains ``outstanding_bytes`` (the
+    congestion signal it owns).
 """
 
 from __future__ import annotations
@@ -108,6 +117,12 @@ STATIC_CHECKS = {
         "workload-bypass", "static",
         "drivers outside repro/{workload,mpi,shard} must not construct "
         "World/ClusterJob directly — go through run_ranks or a Workload",
+    ),
+    "fabric-mutation-bypass": CheckInfo(
+        "fabric-mutation-bypass", "static",
+        "link health outside repro/hw is mutated only via the LinkState "
+        "API (down_link/restore_link/degrade_bandwidth) — direct field "
+        "writes skip the fabric epoch bump",
     ),
 }
 
@@ -455,6 +470,78 @@ def _check_workload_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
     return found
 
 
+#: Link fields only repro/hw (the Link ctor + LinkState API) may write.
+#: ``outstanding_bytes`` is additionally the dataplane ledger's to maintain
+#: (the congestion signal it owns, DESIGN.md §17).
+_LINK_MUTATION_ATTRS = {"up", "bandwidth", "base_bandwidth", "outstanding_bytes"}
+_LEDGER_ATTRS = {"outstanding_bytes"}
+#: LinkState bookkeeping no one else may touch (receiver-scoped: a bare
+#: ``self.epoch`` elsewhere — e.g. partitioned-comm epochs — is unrelated).
+_LINKSTATE_ATTRS = {"epoch", "armed"}
+_LINKSTATE_RECEIVERS = {"state", "link_state"}
+
+
+def _owns_links(path: str) -> bool:
+    return "hw" in Path(path).parts
+
+
+def _check_fabric_mutation_bypass(tree: ast.AST, path: str) -> List[LintFinding]:
+    """Direct writes to fabric link health outside the LinkState API.
+
+    Flags, outside ``repro/hw``, assignments (plain or augmented) to:
+
+    * the link fields ``up`` / ``bandwidth`` / ``base_bandwidth`` /
+      ``outstanding_bytes`` on any receiver — except ``outstanding_bytes``
+      inside ``repro/dataplane`` (the ledger maintains the congestion
+      signal);
+    * ``epoch`` / ``armed`` on a LinkState-shaped receiver (a name or
+      attribute called ``state`` / ``link_state``).
+
+    A direct write skips the epoch bump that invalidates the fabric route
+    cache, the dataplane's disjoint-route memo, and epoch-stamped captured
+    plans — the fault would be invisible to everything built on top.
+    """
+    found: List[LintFinding] = []
+    in_dataplane = "dataplane" in Path(path).parts
+
+    def flag(node: ast.AST, what: str) -> None:
+        found.append(LintFinding(
+            path, node.lineno, "fabric-mutation-bypass",
+            f"{what} mutates fabric link state directly — go through the "
+            "LinkState API (down_link/restore_link/degrade_bandwidth) so "
+            "the fabric epoch bumps and route caches/captured plans "
+            "revalidate (DESIGN.md §17)",
+        ))
+
+    def write_targets(node: ast.AST) -> List[ast.AST]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        return []
+
+    for node in ast.walk(tree):
+        for target in write_targets(node):
+            if not isinstance(target, ast.Attribute):
+                continue
+            attr = target.attr
+            if attr in _LINK_MUTATION_ATTRS:
+                if in_dataplane and attr in _LEDGER_ATTRS:
+                    continue
+                flag(node, f"write to .{attr}")
+            elif attr in _LINKSTATE_ATTRS:
+                recv = target.value
+                if (
+                    isinstance(recv, ast.Attribute)
+                    and recv.attr in _LINKSTATE_RECEIVERS
+                ) or (
+                    isinstance(recv, ast.Name)
+                    and recv.id in _LINKSTATE_RECEIVERS
+                ):
+                    flag(node, f"write to {_dotted(target) or '.' + attr}")
+    return found
+
+
 _OBS_EMIT_ATTRS = {"trace", "instant", "span", "counter"}
 
 
@@ -553,6 +640,8 @@ def lint_source(
     found += _check_dropped_return(tree, path)
     if not _owns_dataplane(path):
         found += _check_fabric_bypass(tree, path)
+    if not _owns_links(path):
+        found += _check_fabric_mutation_bypass(tree, path)
     if not _owns_shards(path):
         found += _check_shard_shared_state(tree, path)
     if not _owns_workloads(path):

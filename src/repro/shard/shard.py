@@ -177,7 +177,9 @@ class Shard:
             self.engine.shard_id = shard_id
         self.wire = wire if wire is not None else WireModel(cluster)
         self.local_spec = local_spec(cluster, shard_id)
-        self.fabric = Fabric(self.engine, self.local_spec)
+        # fault_scope pins node-targeted fault events to this shard even in
+        # reference mode, where the shared engine carries no shard_id.
+        self.fabric = Fabric(self.engine, self.local_spec, fault_scope=shard_id)
         self.mailbox = Mailbox(self.engine, shard_id)
         self.bridge = ShardBridge(self)
         self.fabric.dataplane.bridge = self.bridge
@@ -234,7 +236,13 @@ class Shard:
         self.graph_engine = graph
         # Rebuild the node-local state on the graph engine; the bridge
         # object survives (it addresses whichever engine run_engine names).
-        self.fabric = Fabric(graph, self.local_spec)
+        # The eager fabric's fault timers (installed from the ambient
+        # schedule at construction) are cancelled first — the graph-engine
+        # fabric re-installs the schedule, and a stale host-heap timer
+        # would mutate the orphaned fabric.
+        for ev in self.fabric.fault_events:
+            ev.cancel()
+        self.fabric = Fabric(graph, self.local_spec, fault_scope=self.id)
         self.mailbox = Mailbox(graph, self.id)
         self.fabric.dataplane.bridge = self.bridge
         self.fabric.dataplane.enable_plan_cache()

@@ -42,7 +42,7 @@ class WorkloadError(Exception):
 
 #: Path-policy axis values (``PathPolicy.name`` strings); None = ambient
 #: default (the ``REPRO_PATH_POLICY`` environment, usually single-path).
-POLICY_NAMES = ("single", "multi")
+POLICY_NAMES = ("single", "multi", "congestion")
 
 
 # --------------------------------------------------------------------------
@@ -225,6 +225,7 @@ class Workload:
         machine: Optional[Union[str, MachineLike]] = None,
         policy: Optional[str] = None,
         shards: Optional[int] = None,
+        faults: Optional[Any] = None,
         **params: Any,
     ) -> WorkloadResult:
         """Run on ``machine`` under ``policy``; returns a WorkloadResult.
@@ -232,7 +233,15 @@ class Workload:
         ``shards=N`` routes shard-capable workloads through the
         multiprocessing executor (results are pinned bit-identical to the
         sequential driver, DESIGN.md §14).
+
+        ``faults`` plugs a :class:`~repro.hw.faults.FaultSchedule` (or a
+        JSONL path) into the run: every fabric the workload builds installs
+        the schedule's link mutations on its own timeline (DESIGN.md §17).
+        ``None`` — the default — leaves the fabric immutable and the run's
+        outputs bit-identical to a build without the fault layer.
         """
+        from repro.hw.faults import fault_schedule
+
         resolved = self.resolve_machine(machine)
         if shards is not None and not self.supports_shards:
             raise WorkloadError(
@@ -240,7 +249,7 @@ class Workload:
                 "shards=N applies to cluster workloads only"
             )
         merged = {**self.defaults, **params}
-        with path_policy(policy):
+        with fault_schedule(faults), path_policy(policy):
             before = STATS.snapshot()["events_popped"]
             outcome = self._execute(resolved, shards, **merged)
             popped = (

@@ -1,4 +1,4 @@
-"""CLI frontends: ``python -m repro sweep`` and ``python -m repro replay``.
+"""CLI frontends: ``python -m repro sweep`` / ``replay`` / ``fault``.
 
     python -m repro sweep --workloads pingpong,halo --machines gh200-2x4
     python -m repro sweep --workloads replay:sched.jsonl \\
@@ -6,6 +6,9 @@
     python -m repro replay sched.jsonl --machine gh200-2x4 --policy multi
     python -m repro replay --gen-llm dp=2,tp=4,pp=2 --out sched.jsonl
     python -m repro replay --from-nccl run.log --out sched.jsonl
+    python -m repro fault faults.jsonl                    # validate + print
+    python -m repro fault faults.jsonl --workload halo \\
+        --machine fat-tree-512 --shards 2                 # faulted run
 """
 
 from __future__ import annotations
@@ -52,7 +55,7 @@ def main_sweep(argv=None) -> int:
     )
     parser.add_argument(
         "--policies", default="default",
-        help="comma-separated path policies: single, multi, default",
+        help="comma-separated path policies: single, multi, congestion, default",
     )
     parser.add_argument("--shards", type=int, default=None,
                         help="worker count for shard-capable workloads")
@@ -110,7 +113,7 @@ def main_replay(argv=None) -> int:
                         help="schedule JSONL file to replay")
     parser.add_argument("--machine", default=None)
     parser.add_argument("--policy", default=None,
-                        choices=("single", "multi"))
+                        choices=("single", "multi", "congestion"))
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--gen-llm", metavar="K=V,...",
                         help="generate an LLM training schedule "
@@ -163,6 +166,64 @@ def main_replay(argv=None) -> int:
           f"steps={len(sched.steps)} digest={sched.digest[:12]}")
     print(f"machine   {result.machine}  policy={result.policy} "
           f"mode={result.mode}")
+    print(f"popped    {result.events_popped}")
+    for cls in sorted(result.class_bytes):
+        entry = result.class_bytes[cls]
+        nbytes = entry["bytes"] if isinstance(entry, dict) else entry
+        print(f"  class {cls:20s} {nbytes} bytes")
+    for key in sorted(result.digests):
+        print(f"  digest {key:18s} {result.digests[key][:16]}")
+    return 0
+
+
+def main_fault(argv=None) -> int:
+    """Validate a fault schedule; optionally drive a workload under it."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fault",
+        description="Validate a link-fault schedule (JSONL: one "
+        '{"t": ..., "link": ..., "action": "down|restore|degrade"} per '
+        "line) and optionally run a workload with it installed.",
+    )
+    parser.add_argument("schedule", help="fault schedule JSONL file")
+    parser.add_argument("--workload", default=None,
+                        help="registry name or replay:<schedule.jsonl>; "
+                        "omit to only validate and print the schedule")
+    parser.add_argument("--machine", default=None)
+    parser.add_argument("--policy", default=None,
+                        choices=("single", "multi", "congestion"))
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--param", action="append", default=[],
+                        help="k=v workload parameter (repeatable; JSON values)")
+    args = parser.parse_args(argv)
+
+    from repro.hw.faults import FaultError, FaultSchedule
+    from repro.workload.registry import resolve_spec
+
+    try:
+        sched = FaultSchedule.load(args.schedule)
+    except (FaultError, FileNotFoundError) as exc:
+        print(f"fault error: {exc}", file=sys.stderr)
+        return 1
+    print(f"schedule  {args.schedule}  events={len(sched)}")
+    for ev in sched:
+        scope = f" node={ev.node}" if ev.node is not None else ""
+        extra = f" factor={ev.factor}" if ev.factor is not None else ""
+        print(f"  t={ev.t:<12g} {ev.action:8s} {ev.link}{extra}{scope}")
+    if args.workload is None:
+        return 0
+
+    from repro.hw.spec.schema import SpecError
+
+    try:
+        result = resolve_spec(args.workload).run(
+            machine=args.machine, policy=args.policy, shards=args.shards,
+            faults=sched, **_parse_params(args.param),
+        )
+    except (WorkloadError, FaultError, SpecError, KeyError) as exc:
+        print(f"fault error: {exc}", file=sys.stderr)
+        return 1
+    print(f"workload  {result.workload}  machine={result.machine} "
+          f"policy={result.policy} mode={result.mode}")
     print(f"popped    {result.events_popped}")
     for cls in sorted(result.class_bytes):
         entry = result.class_bytes[cls]

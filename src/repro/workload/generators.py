@@ -343,3 +343,143 @@ def jacobi_schedule(
     sched = Schedule(ranks=ranks, steps=out, name=label, source=f"<{label}>")
     _validate(sched)
     return sched
+
+
+# --------------------------------------------------------------------------
+# parameter-server training pattern
+# --------------------------------------------------------------------------
+
+def parameter_server_schedule(
+    workers: int = 4,
+    servers: int = 2,
+    steps: int = 2,
+    grad_bytes: int = 1024 * 1024,
+    compute_us: float = 120.0,
+    update_us: float = 40.0,
+    name: Optional[str] = None,
+) -> Schedule:
+    """Synthesize the classic parameter-server training loop.
+
+    Rank layout: servers first (``0 .. servers-1``), then workers.  Per
+    optimizer step every worker computes its gradient, *pushes* one
+    even shard of it to each server (tagged per step and worker, so
+    pushes never cross steps), the servers apply the update, and every
+    worker *pulls* its refreshed parameter shards back.  The fan-in at
+    the servers is the pattern's signature hotspot — the reason this
+    generator exists as a congestion-policy exhibit.
+    """
+    for label_, v in (("workers", workers), ("servers", servers),
+                      ("steps", steps), ("grad_bytes", grad_bytes)):
+        if not isinstance(v, int) or v < 1:
+            raise ReplayError(
+                f"parameter_server_schedule: {label_} must be a positive "
+                f"integer, got {v!r}"
+            )
+    if grad_bytes < servers:
+        raise ReplayError(
+            f"parameter_server_schedule: grad_bytes={grad_bytes} cannot "
+            f"shard across {servers} servers"
+        )
+    ranks = servers + workers
+    shard = grad_bytes // servers
+    # The first server's shard absorbs the remainder, so every step moves
+    # exactly grad_bytes per worker in each direction.
+    first_shard = shard + (grad_bytes - shard * servers)
+
+    out: List[Step] = []
+
+    def add(rank: int, op: str, **fields) -> None:
+        out.append(Step(rank, op, len(out) + 2, fields))
+
+    for step in range(steps):
+        # Workers compute, then push gradient shards (all sends of the
+        # phase precede the servers' receives).
+        for w in range(workers):
+            add(servers + w, "compute", us=compute_us)
+        for w in range(workers):
+            for s in range(servers):
+                add(servers + w, "send", peer=s,
+                    bytes=first_shard if s == 0 else shard,
+                    tag=f"push.s{step}.w{w}", **{"class": "ps-push"})
+        for s in range(servers):
+            for w in range(workers):
+                add(s, "recv", peer=servers + w, tag=f"push.s{step}.w{w}")
+        # Servers apply the update, then fan the fresh shards back out.
+        for s in range(servers):
+            add(s, "compute", us=update_us)
+        for s in range(servers):
+            for w in range(workers):
+                add(s, "send", peer=servers + w,
+                    bytes=first_shard if s == 0 else shard,
+                    tag=f"pull.s{step}.w{w}", **{"class": "ps-pull"})
+        for w in range(workers):
+            for s in range(servers):
+                add(servers + w, "recv", peer=s, tag=f"pull.s{step}.w{w}")
+
+    label = name or f"ps-w{workers}-s{servers}"
+    sched = Schedule(ranks=ranks, steps=out, name=label, source=f"<{label}>")
+    _validate(sched)
+    return sched
+
+
+# --------------------------------------------------------------------------
+# expert-parallel (MoE) all-to-all pattern
+# --------------------------------------------------------------------------
+
+def expert_parallel_schedule(
+    ranks: int = 8,
+    steps: int = 2,
+    token_bytes: int = 256 * 1024,
+    expert_us: float = 90.0,
+    router_us: float = 30.0,
+    name: Optional[str] = None,
+) -> Schedule:
+    """Synthesize the Mixture-of-Experts dispatch/combine pattern.
+
+    Per step every rank routes its tokens (compute), *dispatches*
+    ``token_bytes`` to every other rank's experts (a full all-to-all),
+    runs its expert layer, and *combines* the processed tokens back with
+    the mirror all-to-all.  Each phase's sends precede its receives and
+    tags carry (step, sender), so the two all-to-alls of one step — and
+    neighbouring steps — cannot cross-match.
+    """
+    for label_, v in (("ranks", ranks), ("steps", steps),
+                      ("token_bytes", token_bytes)):
+        if not isinstance(v, int) or v < 1:
+            raise ReplayError(
+                f"expert_parallel_schedule: {label_} must be a positive "
+                f"integer, got {v!r}"
+            )
+    if ranks < 2:
+        raise ReplayError(
+            f"expert_parallel_schedule: ranks must be >= 2, got {ranks}"
+        )
+
+    out: List[Step] = []
+
+    def add(rank: int, op: str, **fields) -> None:
+        out.append(Step(rank, op, len(out) + 2, fields))
+
+    def all_to_all(step: int, phase: str, cls: str) -> None:
+        for r in range(ranks):
+            for peer in range(ranks):
+                if peer != r:
+                    add(r, "send", peer=peer, bytes=token_bytes,
+                        tag=f"{phase}.s{step}.r{r}", **{"class": cls})
+        for r in range(ranks):
+            for peer in range(ranks):
+                if peer != r:
+                    add(r, "recv", peer=peer, tag=f"{phase}.s{step}.r{peer}")
+
+    for step in range(steps):
+        for r in range(ranks):
+            add(r, "compute", us=router_us)
+        all_to_all(step, "disp", "moe-dispatch")
+        for r in range(ranks):
+            add(r, "compute", us=expert_us)
+        all_to_all(step, "comb", "moe-combine")
+
+    label = name or f"moe-{ranks}r"
+    sched = Schedule(ranks=ranks, steps=out, name=label, source=f"<{label}>")
+    _validate(sched)
+    return sched

@@ -89,3 +89,73 @@ def test_llm_schedule_deterministic():
 def test_llm_schedule_rejects_bad_params():
     with pytest.raises(ReplayError, match="dp must be"):
         llm_schedule(dp=0)
+
+
+# --------------------------------------------------------------------------
+# parameter-server and expert-parallel patterns
+# --------------------------------------------------------------------------
+
+def test_parameter_server_schedule_shape_and_round_trip():
+    from repro.workload.generators import parameter_server_schedule
+
+    sched = parameter_server_schedule(workers=4, servers=2, steps=2,
+                                      grad_bytes=1 << 20)
+    assert sched.ranks == 6
+    assert sched.name == "ps-w4-s2"
+    # every step moves grad_bytes per worker in each direction
+    pushed = sum(s.fields["bytes"] for s in sched.steps
+                 if s.op == "send" and s.fields["class"] == "ps-push")
+    pulled = sum(s.fields["bytes"] for s in sched.steps
+                 if s.op == "send" and s.fields["class"] == "ps-pull")
+    assert pushed == pulled == 2 * 4 * (1 << 20)
+    rt = parse_jsonl(sched.to_jsonl(), source="<rt>")
+    assert rt.digest == sched.digest
+
+
+def test_parameter_server_schedule_replays():
+    from repro.workload.generators import parameter_server_schedule
+
+    sched = parameter_server_schedule(workers=3, servers=1, steps=1,
+                                      grad_bytes=64 * 1024)
+    res = ReplayWorkload(sched).run(machine="gh200-1x4")
+    assert res.class_bytes["ps-push"]["bytes"] == 3 * 64 * 1024
+    assert res.class_bytes["ps-pull"]["bytes"] == 3 * 64 * 1024
+
+
+def test_parameter_server_schedule_rejects_bad_params():
+    from repro.workload.generators import parameter_server_schedule
+
+    with pytest.raises(ReplayError, match="workers must be"):
+        parameter_server_schedule(workers=0)
+    with pytest.raises(ReplayError, match="cannot shard"):
+        parameter_server_schedule(servers=4, grad_bytes=2)
+
+
+def test_expert_parallel_schedule_shape_and_round_trip():
+    from repro.workload.generators import expert_parallel_schedule
+
+    sched = expert_parallel_schedule(ranks=4, steps=2, token_bytes=4096)
+    assert sched.ranks == 4
+    assert sched.name == "moe-4r"
+    sends = [s for s in sched.steps if s.op == "send"]
+    # two all-to-alls per step: 2 * ranks * (ranks - 1) sends each step
+    assert len(sends) == 2 * 2 * 4 * 3
+    assert {s.fields["class"] for s in sends} == {"moe-dispatch", "moe-combine"}
+    rt = parse_jsonl(sched.to_jsonl(), source="<rt>")
+    assert rt.digest == sched.digest
+
+
+def test_expert_parallel_schedule_replays_sharded_identically():
+    from repro.workload.generators import expert_parallel_schedule
+
+    sched = expert_parallel_schedule(ranks=8, steps=1, token_bytes=32 * 1024)
+    seq = ReplayWorkload(sched).run(machine="fat-tree-32-r2-l2")
+    mp = ReplayWorkload(sched).run(machine="fat-tree-32-r2-l2", shards=2)
+    assert mp.digests == seq.digests
+
+
+def test_expert_parallel_schedule_rejects_bad_params():
+    from repro.workload.generators import expert_parallel_schedule
+
+    with pytest.raises(ReplayError, match="ranks must be >= 2"):
+        expert_parallel_schedule(ranks=1)

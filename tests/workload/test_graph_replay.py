@@ -178,3 +178,28 @@ def test_cluster_shards_no_graphs_still_identical(monkeypatch):
     par = _cluster_run(monkeypatch, graphs=False, shards=2)
     assert seq.digests == par.digests
     assert seq.events_popped == par.events_popped
+
+
+def test_cluster_replay_digest_invariant_across_all_knobs(monkeypatch):
+    """One digest set across {graphs on/off} x {coalescing on/off} under
+    the multi-path policy: the perf knobs and the striping policy must
+    never change what the simulation computes (DESIGN.md §11, §16)."""
+    results = []
+    for no_graphs in (False, True):
+        for no_coalesce in (False, True):
+            if no_graphs:
+                monkeypatch.setenv("REPRO_NO_GRAPHS", "1")
+            else:
+                monkeypatch.delenv("REPRO_NO_GRAPHS", raising=False)
+            if no_coalesce:
+                monkeypatch.setenv("REPRO_NO_COALESCE", "1")
+            else:
+                monkeypatch.delenv("REPRO_NO_COALESCE", raising=False)
+            wl = ReplayWorkload(jacobi_schedule(py=4, px=2, iters=10))
+            results.append(wl.run(machine="gh200-2x4", policy="multi"))
+    base = results[0]
+    for res in results[1:]:
+        assert res.digests == base.digests
+        assert res.class_bytes == base.class_bytes
+        assert (res.extra["signature"]["t_end"]
+                == base.extra["signature"]["t_end"])
